@@ -1,0 +1,15 @@
+"""F10 (extension): open-page vs closed-page row management."""
+
+from repro.experiments import f10_page_policy
+
+from conftest import BENCH_FAST_MIXES, run_once, show
+
+
+def bench_f10_page_policy(runner, benchmark):
+    result = run_once(
+        benchmark, lambda: f10_page_policy(runner, mixes=BENCH_FAST_MIXES)
+    )
+    show(result)
+    assert result.column("page policy") == ["open", "closed"]
+    for row in result.rows:
+        assert all(v > 0 for v in row[1:])

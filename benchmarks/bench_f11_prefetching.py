@@ -1,0 +1,15 @@
+"""F11 (extension): stride prefetching off/on across the policies."""
+
+from repro.experiments import f11_prefetching
+
+from conftest import BENCH_FAST_MIXES, run_once, show
+
+
+def bench_f11_prefetching(runner, benchmark):
+    result = run_once(
+        benchmark, lambda: f11_prefetching(runner, mixes=BENCH_FAST_MIXES)
+    )
+    show(result)
+    assert result.column("prefetch") == ["off", "on"]
+    for row in result.rows:
+        assert all(v > 0 for v in row[1:])

@@ -1,0 +1,13 @@
+"""T1: system configuration table."""
+
+from repro.experiments import t1_configuration
+
+from conftest import run_once, show
+
+
+def bench_t1_configuration(runner, benchmark):
+    result = run_once(benchmark, lambda: t1_configuration(runner))
+    show(result)
+    params = result.column("parameter")
+    assert any("DRAM" in p for p in params)
+    assert any("Bank colors" in p for p in params)

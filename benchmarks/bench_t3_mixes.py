@@ -1,0 +1,16 @@
+"""T3: workload mix table."""
+
+from repro.experiments import t3_mixes
+from repro.workloads.mixes import MAIN_MIXES
+
+from conftest import run_once, show
+
+
+def bench_t3_mixes(runner, benchmark):
+    result = run_once(benchmark, t3_mixes)
+    show(result)
+    names = result.column("mix")
+    assert all(m in names for m in MAIN_MIXES)
+    categories = set(result.column("category"))
+    # The evaluation spans all-heavy down to one-heavy mixes.
+    assert {"H4", "H2L2", "H1L3"} <= categories

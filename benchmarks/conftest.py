@@ -1,0 +1,64 @@
+"""Shared state for the benchmark harness.
+
+One session-scoped Runner backs every bench module: traces, alone-run
+baselines, and (mix, approach) results are computed once and shared, so
+e.g. the F3 fairness view reuses the F2 throughput runs.
+
+Environment knobs:
+
+* ``REPRO_BENCH_HORIZON`` — simulated CPU cycles per run (default 300000).
+  Shape assertions are skipped below 150000 cycles, where run-to-run noise
+  exceeds the effects being measured.
+* ``REPRO_BENCH_QUICK``   — set to 1 to sweep a single mix per figure.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.sim.runner import Runner
+from repro.workloads.mixes import MAIN_MIXES
+
+BENCH_HORIZON = int(os.environ.get("REPRO_BENCH_HORIZON", "300000"))
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+#: Mixes for the headline sweeps (F2-F4).
+BENCH_MIXES = ["M4"] if QUICK else list(MAIN_MIXES)
+#: Mixes for the secondary sweeps (F5, F6, F8, F9).
+BENCH_FAST_MIXES = ["M4"] if QUICK else ["M1", "M4", "M6", "M7", "M10"]
+#: Below this horizon the claim deltas drown in noise; only print tables.
+ASSERT_HORIZON = 150_000
+
+
+def shape_checks_enabled() -> bool:
+    """True when the horizon is long enough to assert claim shapes."""
+    return BENCH_HORIZON >= ASSERT_HORIZON
+
+
+@pytest.fixture(scope="session")
+def runner() -> Runner:
+    return Runner(horizon=BENCH_HORIZON)
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def show(result) -> None:
+    """Print an experiment's table and persist it to benchmarks/results/.
+
+    pytest captures the print unless ``-s`` is given; the file copy is what
+    EXPERIMENTS.md is written from.
+    """
+    text = result.render()
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{result.exp_id}.txt").write_text(text + "\n")

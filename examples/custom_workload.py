@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Build your own workload: define applications, mix them, compare policies.
+
+Shows the full user-facing workflow on applications that do NOT ship with
+the package: a synthetic key-value store (scattered reads, high bank
+parallelism), a log writer (sequential, write heavy), and a compute kernel
+(barely touches memory). This is the path a downstream user takes to ask
+"would dynamic bank partitioning help *my* co-location?".
+
+Run:  python examples/custom_workload.py
+"""
+
+from dataclasses import replace
+
+from repro import (
+    AppProfile,
+    DynamicBankPartitioning,
+    EqualBankPartitioning,
+    Runner,
+    SharedPolicy,
+    generate_trace,
+    summarize,
+)
+from repro.sim.system import System
+
+HORIZON = 200_000
+
+# Three custom applications, described only by their memory behaviour.
+KV_STORE = AppProfile(
+    name="kvstore",
+    mpki=22.0,  # miss-heavy: random lookups over a big heap
+    row_locality=0.15,  # almost no sequential runs
+    streams=8,  # independent lookups in flight
+    write_frac=0.10,
+    footprint_mb=48,
+    burst=8,  # high bank-level parallelism
+)
+LOG_WRITER = AppProfile(
+    name="logwriter",
+    mpki=18.0,  # streams appends through the cache
+    row_locality=0.96,  # perfectly sequential
+    streams=1,
+    write_frac=0.7,
+    footprint_mb=16,
+    burst=3,
+)
+COMPUTE = AppProfile(
+    name="compute",
+    mpki=0.3,  # fits in cache
+    row_locality=0.7,
+    streams=2,
+    write_frac=0.2,
+    footprint_mb=2,
+)
+
+APPS = [KV_STORE, LOG_WRITER, COMPUTE, COMPUTE]
+POLICIES = {
+    "shared-frfcfs": SharedPolicy,
+    "ebp": EqualBankPartitioning,
+    "dbp": DynamicBankPartitioning,
+}
+
+
+def main() -> None:
+    runner = Runner(horizon=HORIZON)
+    config = replace(runner.config, num_cores=len(APPS))
+    traces = [generate_trace(app, seed=7) for app in APPS]
+
+    # Alone-run baselines for the slowdown metrics.
+    alone = {}
+    for index, app in enumerate(APPS):
+        solo = System(
+            replace(config, num_cores=1), [traces[index]], horizon=HORIZON
+        )
+        alone[index] = solo.run().threads[0].ipc
+        print(f"{app.name:<10} alone IPC = {alone[index]:.3f}")
+
+    print(f"\n{'policy':<14} {'WS':>7} {'MS':>7}   slowdowns")
+    print("-" * 64)
+    for name, policy_cls in POLICIES.items():
+        system = System(config, traces, horizon=HORIZON, policy=policy_cls())
+        result = system.run()
+        shared = {t: result.threads[t].ipc for t in range(len(APPS))}
+        metrics = summarize(alone, shared)
+        downs = "  ".join(
+            f"{APPS[t].name}={alone[t] / shared[t]:.2f}"
+            for t in range(len(APPS))
+        )
+        print(
+            f"{name:<14} {metrics.weighted_speedup:>7.3f} "
+            f"{metrics.max_slowdown:>7.3f}   {downs}"
+        )
+    print(
+        "\nWhat to look at: the kv-store needs many banks (burst=8), so the "
+        "equal split\nhits it hardest — compare its slowdown under ebp vs "
+        "dbp. The log writer is a\nstreamer (one hot row at a time), so DBP "
+        "deliberately gives it few banks; the\ncompute kernels are pooled. "
+        "Whether partitioning beats the unmanaged baseline\noverall depends "
+        "on how much bank interference your co-location actually has —\n"
+        "which is exactly the question this harness answers."
+    )
+
+
+if __name__ == "__main__":
+    main()

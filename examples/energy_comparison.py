@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Energy view: what do partitioning and page policy cost in DRAM energy?
+
+Runs one heavy mix under {open, closed} page policies x {shared, DBP} and
+prints the DRAM energy breakdown next to the performance metrics. Bank
+partitioning protects row-buffer locality, which shows up here as fewer
+activates — performance and activate energy move together.
+
+Run:  python examples/energy_comparison.py
+"""
+
+from dataclasses import replace
+
+from repro import Runner, get_mix
+from repro.dram.power import estimate_energy
+from repro.sim.system import System
+from repro.core.integration import get_approach
+
+HORIZON = 200_000
+
+
+def run_case(runner, mix, approach, page_policy):
+    spec = get_approach(approach)
+    config = replace(runner.config, num_cores=len(mix.apps))
+    config = config.with_scheduler(spec.scheduler, **spec.scheduler_params)
+    config = replace(
+        config, controller=replace(config.controller, page_policy=page_policy)
+    )
+    traces = [runner.trace_for(app) for app in mix.apps]
+    system = System(
+        config, traces, horizon=HORIZON, policy=spec.make_policy()
+    )
+    result = system.run()
+    report = estimate_energy(system)
+    total_ipc = sum(t.ipc for t in result.threads.values())
+    return total_ipc, report
+
+
+def main() -> None:
+    runner = Runner(horizon=HORIZON)
+    mix = get_mix("M1")
+    print(f"mix {mix.name}: {' '.join(mix.apps)}\n")
+    header = (
+        f"{'case':<22} {'sum-IPC':>8} {'ACT mJ':>8} {'RD/WR mJ':>9} "
+        f"{'total mJ':>9} {'nJ/instr':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for approach in ("shared-frfcfs", "dbp"):
+        for page_policy in ("open", "closed"):
+            ipc, report = run_case(runner, mix, approach, page_policy)
+            insts = ipc * HORIZON
+            rw_mj = (report.read_nj + report.write_nj) / 1e6
+            print(
+                f"{approach + '/' + page_policy:<22} {ipc:>8.3f} "
+                f"{report.activate_nj / 1e6:>8.3f} {rw_mj:>9.3f} "
+                f"{report.total_nj / 1e6:>9.3f} "
+                f"{report.total_nj / max(1, insts):>9.2f}"
+            )
+    print(
+        "\nClosed-page pays for its precharges in activate energy; "
+        "partitioning's row-hit\nprotection reduces activates. Energy per "
+        "instruction folds performance and\npower into one number."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Quickstart: compare Dynamic Bank Partitioning against its baselines.
+
+Runs one multiprogrammed mix (two memory-hogs plus two light apps) under
+the unmanaged baseline, equal bank partitioning, and DBP, and prints the
+paper's metrics. Takes well under a minute.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Runner, get_mix
+
+HORIZON = 200_000  # simulated CPU cycles per run
+
+
+def main() -> None:
+    runner = Runner(horizon=HORIZON)
+    mix = get_mix("M4")  # mcf + lbm (heavy), h264ref + gcc (light)
+    print(f"mix {mix.name}: {' '.join(mix.apps)}")
+    print(f"{'approach':<14} {'WS':>7} {'HS':>7} {'MS':>7}   per-app slowdowns")
+    print("-" * 72)
+    for approach in ("shared-frfcfs", "ebp", "dbp"):
+        result = runner.run_mix(mix, approach)
+        metrics = result.metrics
+        downs = "  ".join(
+            f"{mix.apps[t]}={s:.2f}" for t, s in metrics.slowdowns.items()
+        )
+        print(
+            f"{approach:<14} {metrics.weighted_speedup:>7.3f} "
+            f"{metrics.harmonic_speedup:>7.3f} "
+            f"{metrics.max_slowdown:>7.3f}   {downs}"
+        )
+    print(
+        "\nReading the table: WS = system throughput (higher is better), "
+        "MS = maximum\nslowdown (lower is fairer). EBP isolates threads but "
+        "boxes the bank-hungry mcf\ninto a fixed slice; DBP sizes each "
+        "thread's bank allocation to its measured\nbank-level parallelism "
+        "and pools the light threads, recovering both."
+    )
+
+
+if __name__ == "__main__":
+    main()

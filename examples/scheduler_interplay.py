@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""The paper's second claim: partitioning and scheduling are orthogonal.
+
+Sweeps a heavy mix across the cross product of {no partitioning, EBP, DBP}
+x {FR-FCFS, TCM} and prints the 3x2 grid of weighted speedup and maximum
+slowdown. The paper's DBP-TCM is the bottom-right cell; the grid shows the
+two mechanisms composing rather than interfering.
+
+Run:  python examples/scheduler_interplay.py
+"""
+
+from repro import Runner, get_mix
+from repro.baselines import EqualBankPartitioning, SharedPolicy
+from repro.core.dbp import DynamicBankPartitioning
+
+HORIZON = 200_000
+
+PARTITIONERS = {
+    "shared": SharedPolicy,
+    "ebp": EqualBankPartitioning,
+    "dbp": DynamicBankPartitioning,
+}
+SCHEDULERS = ["frfcfs", "tcm"]
+
+
+def main() -> None:
+    runner = Runner(horizon=HORIZON)
+    mix = get_mix("M2")
+    print(f"mix {mix.name}: {' '.join(mix.apps)}\n")
+    corner = "partition / sched"
+    header = f"{corner:<18}" + "".join(f"{s:>22}" for s in SCHEDULERS)
+    print(header)
+    print("-" * len(header))
+    for pname, policy_cls in PARTITIONERS.items():
+        cells = []
+        for scheduler in SCHEDULERS:
+            result = runner.run_custom(
+                list(mix.apps),
+                policy_cls(),
+                scheduler=scheduler,
+                label=f"{pname}+{scheduler}",
+                mix_name=mix.name,
+            )
+            m = result.metrics
+            cells.append(
+                f"WS {m.weighted_speedup:5.2f} MS {m.max_slowdown:5.2f}"
+            )
+        print(f"{pname:<18}" + "".join(f"{c:>22}" for c in cells))
+    print(
+        "\nRead down a column to see what partitioning adds under a fixed "
+        "scheduler;\nread across a row to see what the scheduler adds under "
+        "fixed partitioning.\nThe gains compose — the paper's DBP-TCM "
+        "argument."
+    )
+
+
+if __name__ == "__main__":
+    main()

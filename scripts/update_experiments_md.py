@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Inject the latest measured tables into EXPERIMENTS.md.
+
+Replaces every ``@<ID>@`` placeholder (or a previously injected table for
+that id) with the contents of ``benchmarks/results/<ID>.txt``, and fills
+the headline-claims row markers ``@C1@``/``@C2@``/``@C3@`` from the F2/F3/
+F4 summaries. Run after ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "benchmarks" / "results"
+DOC = ROOT / "EXPERIMENTS.md"
+
+
+def read_result(exp_id: str) -> str:
+    path = RESULTS / f"{exp_id}.txt"
+    if not path.exists():
+        raise SystemExit(f"missing {path}; run the benchmarks first")
+    return path.read_text().rstrip()
+
+
+def summary_value(exp_id: str, key: str) -> float:
+    text = read_result(exp_id)
+    match = re.search(rf"{re.escape(key)}\s*:\s*([+-][0-9.]+)%", text)
+    if not match:
+        raise SystemExit(f"{key} not found in {exp_id} results")
+    return float(match.group(1))
+
+
+def main() -> int:
+    doc = DOC.read_text()
+    for exp_id in (
+        "T1", "T2", "T3",
+        "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9",
+        "F10", "F11", "F12", "F13",
+    ):
+        table = read_result(exp_id)
+        marker = f"@{exp_id}@"
+        if marker in doc:
+            doc = doc.replace(marker, table)
+            continue
+        # Idempotent refresh: replace a previously injected table (a code
+        # fence starting with the experiment's header line).
+        pattern = re.compile(
+            rf"```\n\[{exp_id}\] .*?```", flags=re.DOTALL
+        )
+        if pattern.search(doc):
+            doc = pattern.sub(f"```\n{table}\n```", doc, count=1)
+        else:
+            print(f"warning: no marker or table for {exp_id}", file=sys.stderr)
+    c1_ws = summary_value("F2", "dbp_vs_ebp_ws_pct")
+    c1_ms = summary_value("F3", "dbp_vs_ebp_ms_pct")
+    c2_ws = summary_value("F4", "dbptcm_vs_tcm_ws_pct")
+    c2_ms = summary_value("F4", "dbptcm_vs_tcm_ms_pct")
+    c3_ws = summary_value("F4", "dbptcm_vs_mcp_ws_pct")
+    c3_ms = summary_value("F4", "dbptcm_vs_mcp_ms_pct")
+    doc = doc.replace("@C1@", f"{c1_ws:+.1f} % WS / {-c1_ms:+.1f} % fairness")
+    doc = doc.replace("@C2@", f"{c2_ws:+.1f} % WS / {-c2_ms:+.1f} % fairness")
+    doc = doc.replace("@C3@", f"{c3_ws:+.1f} % WS / {-c3_ms:+.1f} % fairness")
+    DOC.write_text(doc)
+    print(f"EXPERIMENTS.md updated from {RESULTS}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""Setup shim for offline editable installs.
+
+The environment has no network and no ``wheel`` package, so PEP 517
+editable installs (which need ``bdist_wheel``) fail. This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``pip install -e .``, which falls back to it) work from the local
+setuptools alone. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

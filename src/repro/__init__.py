@@ -1,0 +1,135 @@
+"""repro: a full reproduction of Dynamic Bank Partitioning (HPCA 2014).
+
+The package implements, from scratch, every system the paper needs — a
+DDR3 memory-system simulator (device timing model, multi-channel controller,
+five request schedulers), an OS page-coloring layer, private caches, an
+event-driven core model, synthetic SPEC-like workloads — plus the paper's
+contribution: Dynamic Bank Partitioning and its DBP-TCM combination, with
+equal bank partitioning and memory channel partitioning as baselines.
+
+Quickstart::
+
+    from repro import Runner, get_mix
+
+    runner = Runner(horizon=200_000)
+    for approach in ("shared-frfcfs", "ebp", "dbp"):
+        result = runner.run_mix(get_mix("M1"), approach)
+        print(approach, result.metrics.summary)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every reconstructed table and figure.
+"""
+
+from .config import (
+    CacheConfig,
+    ControllerConfig,
+    CoreConfig,
+    DRAMOrganization,
+    OSConfig,
+    SystemConfig,
+)
+from .core import (
+    APPROACHES,
+    Approach,
+    BankDemandEstimator,
+    DBPConfig,
+    DemandConfig,
+    DynamicBankPartitioning,
+    ThreadProfiler,
+    get_approach,
+)
+from .baselines import (
+    EqualBankPartitioning,
+    MCPConfig,
+    MemoryChannelPartitioning,
+    PartitionPolicy,
+    SharedPolicy,
+)
+from .errors import (
+    AllocationError,
+    ConfigError,
+    ExperimentError,
+    MappingError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+from .metrics import (
+    MetricSummary,
+    harmonic_speedup,
+    max_slowdown,
+    slowdowns,
+    summarize,
+    weighted_speedup,
+)
+from .sim import Engine, RunResult, Runner, System, SystemResult, WorkloadRunMetrics
+from .workloads import (
+    APP_PROFILES,
+    AppProfile,
+    MIXES,
+    Mix,
+    generate_trace,
+    get_mix,
+    get_profile,
+    mixes_for_cores,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # configuration
+    "SystemConfig",
+    "DRAMOrganization",
+    "CoreConfig",
+    "CacheConfig",
+    "ControllerConfig",
+    "OSConfig",
+    # contribution
+    "DynamicBankPartitioning",
+    "DBPConfig",
+    "BankDemandEstimator",
+    "DemandConfig",
+    "ThreadProfiler",
+    "Approach",
+    "APPROACHES",
+    "get_approach",
+    # baselines
+    "PartitionPolicy",
+    "SharedPolicy",
+    "EqualBankPartitioning",
+    "MemoryChannelPartitioning",
+    "MCPConfig",
+    # workloads
+    "AppProfile",
+    "APP_PROFILES",
+    "get_profile",
+    "generate_trace",
+    "Mix",
+    "MIXES",
+    "get_mix",
+    "mixes_for_cores",
+    # simulation
+    "Engine",
+    "System",
+    "SystemResult",
+    "Runner",
+    "RunResult",
+    "WorkloadRunMetrics",
+    # metrics
+    "MetricSummary",
+    "weighted_speedup",
+    "harmonic_speedup",
+    "max_slowdown",
+    "slowdowns",
+    "summarize",
+    # errors
+    "ReproError",
+    "ConfigError",
+    "ProtocolError",
+    "MappingError",
+    "AllocationError",
+    "TraceError",
+    "SimulationError",
+    "ExperimentError",
+]

@@ -1,0 +1,7 @@
+"""Allow ``python -m repro`` as an alias for the ``repro-dbp`` script."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,28 @@
+"""Partitioning baselines the paper compares against.
+
+* :class:`~repro.baselines.shared.SharedPolicy` — no partitioning at all
+  (every thread allocates anywhere); the unmanaged baseline.
+* :class:`~repro.baselines.equal.EqualBankPartitioning` — static equal split
+  of bank colors among cores (the prior bank-partitioning work DBP improves
+  on).
+* :class:`~repro.baselines.mcp.MemoryChannelPartitioning` — MCP from
+  Muralidhara et al., MICRO 2011, reimplemented.
+"""
+
+from .base import PartitionContext, PartitionPolicy, make_policy, policy_names
+from .shared import SharedPolicy
+from .equal import EqualBankPartitioning
+from .mcp import MemoryChannelPartitioning, MCPConfig
+from .fixed import FixedAllocationPolicy
+
+__all__ = [
+    "PartitionContext",
+    "PartitionPolicy",
+    "make_policy",
+    "policy_names",
+    "SharedPolicy",
+    "EqualBankPartitioning",
+    "MemoryChannelPartitioning",
+    "MCPConfig",
+    "FixedAllocationPolicy",
+]

@@ -1,0 +1,51 @@
+"""Equal static bank partitioning (EBP).
+
+The prior bank-partitioning scheme DBP improves on (Jeong et al. HPCA 2012,
+Liu et al. PACT 2012): bank colors are divided evenly among cores once, at
+start of run. Interference disappears, but every thread — including ones
+with high bank-level parallelism — is boxed into ``colors / cores`` banks,
+which is exactly the BLP loss the paper's motivation section quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import ConfigError
+from .base import PartitionContext, PartitionPolicy, register_policy
+
+
+@register_policy
+class EqualBankPartitioning(PartitionPolicy):
+    """Static even split of bank colors among threads."""
+
+    name = "ebp"
+    epoch_cycles = None
+
+    def initialize(self, context: PartitionContext) -> None:
+        assignments = self.compute_assignment(
+            context.num_threads, context.total_bank_colors
+        )
+        for thread_id, colors in assignments.items():
+            context.apply_bank_colors(thread_id, colors, migrate=False)
+
+    @staticmethod
+    def compute_assignment(num_threads: int, num_colors: int) -> Dict[int, List[int]]:
+        """Contiguous even split; earlier threads absorb the remainder.
+
+        Exposed as a static method because DBP uses the same split as its
+        cold-start assignment before the first profile exists.
+        """
+        if num_threads > num_colors:
+            raise ConfigError(
+                f"cannot give {num_threads} threads at least one of "
+                f"{num_colors} colors each"
+            )
+        base, extra = divmod(num_colors, num_threads)
+        assignments: Dict[int, List[int]] = {}
+        start = 0
+        for thread_id in range(num_threads):
+            count = base + (1 if thread_id < extra else 0)
+            assignments[thread_id] = list(range(start, start + count))
+            start += count
+        return assignments

@@ -1,0 +1,38 @@
+"""Fixed (externally chosen) static allocations.
+
+Used by the motivation experiment (bank-count sensitivity of a single
+thread) and handy for what-if studies: you specify exactly which bank
+colors each thread owns and nothing changes at run time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from ..errors import ConfigError
+from .base import PartitionContext, PartitionPolicy, register_policy
+
+
+@register_policy
+class FixedAllocationPolicy(PartitionPolicy):
+    """Static allocation given explicitly as {thread_id: colors}."""
+
+    name = "fixed"
+    epoch_cycles = None
+
+    def __init__(self, allocation: Mapping[int, Sequence[int]]) -> None:
+        if not allocation:
+            raise ConfigError("fixed allocation must not be empty")
+        self.allocation: Dict[int, list] = {
+            int(t): list(colors) for t, colors in allocation.items()
+        }
+
+    def initialize(self, context: PartitionContext) -> None:
+        for thread_id in range(context.num_threads):
+            if thread_id not in self.allocation:
+                raise ConfigError(
+                    f"fixed allocation missing thread {thread_id}"
+                )
+            context.apply_bank_colors(
+                thread_id, self.allocation[thread_id], migrate=False
+            )

@@ -1,0 +1,25 @@
+"""No partitioning: the unmanaged shared-memory baseline."""
+
+from __future__ import annotations
+
+from .base import PartitionContext, PartitionPolicy, register_policy
+
+
+@register_policy
+class SharedPolicy(PartitionPolicy):
+    """Every thread may allocate from every bank and channel.
+
+    This is the configuration whose inter-thread interference the whole
+    paper is about; combined with FR-FCFS it is the "shared" baseline of
+    figures F2/F3.
+    """
+
+    name = "shared"
+    epoch_cycles = None
+
+    def initialize(self, context: PartitionContext) -> None:
+        all_colors = range(context.total_bank_colors)
+        all_channels = range(context.total_channels)
+        for thread_id in range(context.num_threads):
+            context.apply_bank_colors(thread_id, all_colors, migrate=False)
+            context.apply_channels(thread_id, all_channels, migrate=False)

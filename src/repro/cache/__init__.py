@@ -1,0 +1,13 @@
+"""Set-associative cache model (used as the private per-core LLC)."""
+
+from .cache import Cache, AccessResult
+from .replacement import LRUPolicy, RandomPolicy, ReplacementPolicy, make_policy
+
+__all__ = [
+    "Cache",
+    "AccessResult",
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "RandomPolicy",
+    "make_policy",
+]

@@ -1,0 +1,145 @@
+"""Set-associative write-back cache.
+
+The cache operates on physical cache-line addresses (translation happens
+before the cache in this system, which keeps page migration honest: moving a
+page changes the lines the cache holds for it). It is used as each core's
+private last-level cache; hits cost ``hit_latency`` cycles, misses go to the
+memory system, and dirty evictions surface as writeback lines for the caller
+to turn into DRAM write requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..config import CacheConfig
+from ..utils import ilog2
+from .replacement import ReplacementPolicy, make_policy
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one cache access."""
+
+    hit: bool
+    writeback_line: Optional[int] = None  # dirty victim, if the fill evicted one
+
+
+class _Line:
+    __slots__ = ("tag", "dirty")
+
+    def __init__(self, tag: int, dirty: bool) -> None:
+        self.tag = tag
+        self.dirty = dirty
+
+
+class Cache:
+    """One set-associative cache instance."""
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        replacement: str = "lru",
+        seed: int = 0,
+    ) -> None:
+        self.config = config
+        self.num_sets = config.num_sets
+        self.associativity = config.associativity
+        self._set_bits = ilog2(self.num_sets)
+        self._set_mask = self.num_sets - 1
+        # ways[set] maps way index -> _Line; sparse, created on first touch.
+        self._ways: Dict[int, Dict[int, _Line]] = {}
+        policy_params = {"seed": seed} if replacement == "random" else {}
+        self.policy: ReplacementPolicy = make_policy(
+            replacement, self.num_sets, self.associativity, **policy_params
+        )
+        self.stat_hits = 0
+        self.stat_misses = 0
+        self.stat_writebacks = 0
+
+    # ------------------------------------------------------------------
+    def _locate(self, set_index: int, tag: int) -> Optional[int]:
+        ways = self._ways.get(set_index)
+        if ways is None:
+            return None
+        for way, line in ways.items():
+            if line.tag == tag:
+                return way
+        return None
+
+    def access(self, line_addr: int, is_write: bool) -> AccessResult:
+        """Look up ``line_addr``; allocate on miss (write-allocate).
+
+        Returns whether it hit and, on a miss that evicted a dirty line,
+        the physical line address that must be written back.
+        """
+        set_index = line_addr & self._set_mask
+        tag = line_addr >> self._set_bits
+        way = self._locate(set_index, tag)
+        if way is not None:
+            self.stat_hits += 1
+            self.policy.on_touch(set_index, way)
+            if is_write and self.config.writeback:
+                self._ways[set_index][way].dirty = True
+            return AccessResult(hit=True)
+        self.stat_misses += 1
+        writeback = self._fill(set_index, tag, dirty=is_write and self.config.writeback)
+        return AccessResult(hit=False, writeback_line=writeback)
+
+    def _fill(self, set_index: int, tag: int, dirty: bool) -> Optional[int]:
+        ways = self._ways.setdefault(set_index, {})
+        if len(ways) < self.associativity:
+            way = len(ways)
+            ways[way] = _Line(tag, dirty)
+            self.policy.on_touch(set_index, way)
+            return None
+        way = self.policy.victim(set_index)
+        victim = ways[way]
+        writeback = None
+        if victim.dirty:
+            writeback = (victim.tag << self._set_bits) | set_index
+            self.stat_writebacks += 1
+        ways[way] = _Line(tag, dirty)
+        self.policy.on_touch(set_index, way)
+        return writeback
+
+    def insert(self, line_addr: int) -> Optional[int]:
+        """Fill a line without demand-access accounting (prefetch fills).
+
+        Returns the dirty victim's line address when the fill evicted one,
+        None otherwise (including when the line was already resident).
+        """
+        set_index = line_addr & self._set_mask
+        tag = line_addr >> self._set_bits
+        if self._locate(set_index, tag) is not None:
+            return None
+        return self._fill(set_index, tag, dirty=False)
+
+    # ------------------------------------------------------------------
+    def contains(self, line_addr: int) -> bool:
+        """True if ``line_addr`` is currently resident."""
+        set_index = line_addr & self._set_mask
+        tag = line_addr >> self._set_bits
+        return self._locate(set_index, tag) is not None
+
+    def invalidate(self, line_addr: int) -> bool:
+        """Drop a line (used when a page migrates); returns True if present.
+
+        The dirty bit is discarded deliberately: the migration engine copies
+        the page from DRAM, and modelling the flush as part of the copy
+        traffic keeps the accounting in one place.
+        """
+        set_index = line_addr & self._set_mask
+        tag = line_addr >> self._set_bits
+        way = self._locate(set_index, tag)
+        if way is None:
+            return False
+        del self._ways[set_index][way]
+        return True
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss fraction over all accesses so far (0 when untouched)."""
+        total = self.stat_hits + self.stat_misses
+        return self.stat_misses / total if total else 0.0

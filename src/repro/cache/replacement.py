@@ -1,0 +1,91 @@
+"""Cache replacement policies.
+
+Policies operate on opaque per-set way indices; the cache tells the policy
+about touches and asks it for victims. LRU is the default (and what the
+paper family assumes); Random exists mainly to exercise the plug point and
+for sensitivity runs.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Dict, List
+
+from ..errors import ConfigError
+
+
+class ReplacementPolicy(abc.ABC):
+    """Interface every replacement policy implements."""
+
+    def __init__(self, num_sets: int, associativity: int) -> None:
+        self.num_sets = num_sets
+        self.associativity = associativity
+
+    @abc.abstractmethod
+    def on_touch(self, set_index: int, way: int) -> None:
+        """A hit or a fill touched ``way`` in ``set_index``."""
+
+    @abc.abstractmethod
+    def victim(self, set_index: int) -> int:
+        """Way to evict from a full ``set_index``."""
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used, tracked with an explicit recency stack per set."""
+
+    def __init__(self, num_sets: int, associativity: int) -> None:
+        super().__init__(num_sets, associativity)
+        # Recency stacks are created lazily; most sets in short runs are
+        # never touched.
+        self._stacks: Dict[int, List[int]] = {}
+
+    def _stack(self, set_index: int) -> List[int]:
+        stack = self._stacks.get(set_index)
+        if stack is None:
+            stack = []
+            self._stacks[set_index] = stack
+        return stack
+
+    def on_touch(self, set_index: int, way: int) -> None:
+        stack = self._stack(set_index)
+        if way in stack:
+            stack.remove(way)
+        stack.append(way)  # most recent at the end
+
+    def victim(self, set_index: int) -> int:
+        stack = self._stack(set_index)
+        if not stack:
+            return 0
+        return stack[0]
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random victim selection with a deterministic stream."""
+
+    def __init__(self, num_sets: int, associativity: int, seed: int = 0) -> None:
+        super().__init__(num_sets, associativity)
+        self._rng = random.Random(seed)
+
+    def on_touch(self, set_index: int, way: int) -> None:
+        pass  # random replacement keeps no recency state
+
+    def victim(self, set_index: int) -> int:
+        return self._rng.randrange(self.associativity)
+
+
+_POLICIES = {"lru": LRUPolicy, "random": RandomPolicy}
+
+
+def make_policy(
+    name: str, num_sets: int, associativity: int, **params: object
+) -> ReplacementPolicy:
+    """Instantiate a replacement policy by registry name."""
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        known = ", ".join(sorted(_POLICIES))
+        raise ConfigError(
+            f"unknown replacement policy {name!r}; known: {known}"
+        ) from None
+    return cls(num_sets, associativity, **params)

@@ -1,0 +1,202 @@
+"""Command-line interface: ``repro-dbp`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``list``   — experiments, approaches, applications, mixes.
+* ``run``    — run one experiment by id and print its table.
+* ``mix``    — run a single mix under one or more approaches.
+* ``config`` — print the simulated system configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .core.integration import APPROACHES
+from .errors import ReproError
+from .experiments import EXPERIMENTS, run_experiment
+from .sim.runner import Runner
+from .workloads import MIXES, get_mix
+from .workloads.profiles import APP_PROFILES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dbp",
+        description=(
+            "Dynamic Bank Partitioning (HPCA 2014) reproduction: run the "
+            "reconstructed tables and figures or individual workload mixes."
+        ),
+    )
+    parser.add_argument(
+        "--horizon",
+        type=int,
+        default=400_000,
+        help="simulated CPU cycles per run (default 400000)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1, help="workload generation seed"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments, approaches, apps, mixes")
+    sub.add_parser("config", help="print the system configuration")
+
+    run_parser = sub.add_parser("run", help="run one experiment by id")
+    run_parser.add_argument("experiment", help="experiment id, e.g. F2")
+    run_parser.add_argument(
+        "--mixes",
+        nargs="*",
+        default=None,
+        help="restrict sweep experiments to these mixes",
+    )
+    run_parser.add_argument(
+        "--format",
+        choices=["table", "csv", "json"],
+        default="table",
+        help="output format (default: table)",
+    )
+
+    mix_parser = sub.add_parser("mix", help="run one mix under approaches")
+    mix_parser.add_argument("mix", help="mix name, e.g. M1")
+    mix_parser.add_argument(
+        "approaches",
+        nargs="*",
+        default=["shared-frfcfs", "ebp", "dbp"],
+        help="approach names (default: shared-frfcfs ebp dbp)",
+    )
+
+    traces_parser = sub.add_parser(
+        "traces", help="analyze generated traces for given apps"
+    )
+    traces_parser.add_argument(
+        "apps", nargs="+", help="application names, e.g. mcf libquantum"
+    )
+
+    gen_parser = sub.add_parser(
+        "gen-traces", help="export generated traces to files"
+    )
+    gen_parser.add_argument("apps", nargs="+", help="application names")
+    gen_parser.add_argument(
+        "--out", default=".", help="output directory (default: cwd)"
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    print("experiments:")
+    for exp_id in sorted(EXPERIMENTS):
+        doc = (EXPERIMENTS[exp_id].__doc__ or "").strip().splitlines()[0]
+        print(f"  {exp_id:<3} {doc}")
+    print("\napproaches:")
+    for name in sorted(APPROACHES):
+        print(f"  {name:<14} {APPROACHES[name].description}")
+    print("\napplications:")
+    for name in sorted(APP_PROFILES):
+        profile = APP_PROFILES[name]
+        print(
+            f"  {name:<12} mpki={profile.mpki:<6} "
+            f"rbh={profile.row_locality:<5} streams={profile.streams}"
+        )
+    print("\nmixes:")
+    for name in sorted(MIXES, key=lambda n: (len(MIXES[n].apps), n)):
+        mix = MIXES[name]
+        print(f"  {mix.name:<4} [{mix.category:<5}] {' '.join(mix.apps)}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace, runner: Runner) -> int:
+    started = time.time()
+    kwargs = {}
+    exp = args.experiment.upper()
+    if args.mixes and exp in (
+        "F2", "F3", "F4", "F5", "F6", "F8", "F9", "F10", "F11", "F12", "F13",
+    ):
+        kwargs["mixes"] = args.mixes
+    result = run_experiment(args.experiment, runner, **kwargs)
+    if args.format == "csv":
+        print(result.to_csv(), end="")
+    elif args.format == "json":
+        print(result.to_json())
+    else:
+        print(result.render())
+        print(f"\n({time.time() - started:.1f}s simulated wall-clock)")
+    return 0
+
+
+def _cmd_mix(args: argparse.Namespace, runner: Runner) -> int:
+    mix = get_mix(args.mix)
+    print(f"{mix.name}: {' '.join(mix.apps)}  [{mix.category}]")
+    header = f"{'approach':<14} {'WS':>7} {'HS':>7} {'MS':>7}  slowdowns"
+    print(header)
+    print("-" * len(header))
+    for approach in args.approaches:
+        metrics = runner.run_mix(mix, approach).metrics
+        downs = " ".join(
+            f"{mix.apps[t]}={s:.2f}" for t, s in metrics.slowdowns.items()
+        )
+        print(
+            f"{approach:<14} {metrics.weighted_speedup:>7.3f} "
+            f"{metrics.harmonic_speedup:>7.3f} "
+            f"{metrics.max_slowdown:>7.3f}  {downs}"
+        )
+    return 0
+
+
+def _cmd_traces(args: argparse.Namespace, runner: Runner) -> int:
+    from .workloads import analyze_trace
+
+    for app in args.apps:
+        print(analyze_trace(runner.trace_for(app)).render())
+        print()
+    return 0
+
+
+def _cmd_gen_traces(args: argparse.Namespace, runner: Runner) -> int:
+    import os
+
+    from .cpu.trace import save_trace
+
+    os.makedirs(args.out, exist_ok=True)
+    for app in args.apps:
+        trace = runner.trace_for(app)
+        path = os.path.join(args.out, f"{app}.trace")
+        save_trace(trace, path)
+        print(f"wrote {path} ({len(trace)} records)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        runner = Runner(horizon=args.horizon, seed=args.seed)
+        if args.command == "config":
+            print(runner.config.describe())
+            return 0
+        if args.command == "run":
+            return _cmd_run(args, runner)
+        if args.command == "mix":
+            return _cmd_mix(args, runner)
+        if args.command == "traces":
+            return _cmd_traces(args, runner)
+        if args.command == "gen-traces":
+            return _cmd_gen_traces(args, runner)
+        parser.error(f"unknown command {args.command!r}")
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        return 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""The paper's contribution: Dynamic Bank Partitioning.
+
+* :class:`~repro.core.profiler.ThreadProfiler` — runtime measurement of each
+  thread's MPKI, row-buffer hit rate, and bank-level parallelism.
+* :class:`~repro.core.demand.BankDemandEstimator` — turns a profile into an
+  estimated bank demand per thread.
+* :class:`~repro.core.dbp.DynamicBankPartitioning` — the epoch-based policy
+  that reallocates bank colors to match demand.
+* :mod:`~repro.core.integration` — named "approaches" combining partitioning
+  policies with memory schedulers (DBP-TCM and every baseline combination
+  the evaluation compares).
+"""
+
+from .profiler import ThreadProfiler
+from .demand import BankDemandEstimator, DemandConfig
+from .dbp import DynamicBankPartitioning, DBPConfig
+from .integration import APPROACHES, Approach, get_approach
+from .combined import CombinedPartitioning
+
+__all__ = [
+    "ThreadProfiler",
+    "BankDemandEstimator",
+    "DemandConfig",
+    "DynamicBankPartitioning",
+    "DBPConfig",
+    "APPROACHES",
+    "Approach",
+    "get_approach",
+    "CombinedPartitioning",
+]

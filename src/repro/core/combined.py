@@ -1,0 +1,48 @@
+"""Combined channel + bank partitioning (extension).
+
+The paper treats bank partitioning and channel partitioning as competing
+mechanisms; on this substrate they are orthogonal allocator constraints,
+so they also *compose*: MCP-style channel assignment isolates thread
+groups across channels, and DBP-style bank allocation isolates threads
+within each channel. This policy applies both every epoch — the "vertical
+partitioning" direction the follow-on literature explores.
+"""
+
+from __future__ import annotations
+
+from .dbp import DBPConfig, DynamicBankPartitioning
+from ..memctrl.schedulers.base import ProfileSnapshot
+from ..baselines.base import PartitionContext, PartitionPolicy, register_policy
+from ..baselines.mcp import MCPConfig, MemoryChannelPartitioning
+
+
+@register_policy
+class CombinedPartitioning(PartitionPolicy):
+    """DBP bank allocation on top of MCP channel assignment."""
+
+    name = "dbp+mcp"
+
+    def __init__(
+        self,
+        dbp_config: DBPConfig = DBPConfig(),
+        mcp_config: MCPConfig = MCPConfig(),
+    ) -> None:
+        self.bank_policy = DynamicBankPartitioning(dbp_config)
+        self.channel_policy = MemoryChannelPartitioning(mcp_config)
+        self.epoch_cycles = min(
+            dbp_config.epoch_cycles, mcp_config.epoch_cycles
+        )
+
+    def initialize(self, context: PartitionContext) -> None:
+        self.channel_policy.initialize(context)
+        self.bank_policy.initialize(context)
+
+    def on_epoch(self, snapshot: ProfileSnapshot, context: PartitionContext) -> None:
+        # Channels first (coarse isolation), then banks within them.
+        self.channel_policy.on_epoch(snapshot, context)
+        self.bank_policy.on_epoch(snapshot, context)
+
+    @property
+    def stat_repartitions(self) -> int:
+        """Repartitioning count (bank dimension; the dimensions tick together)."""
+        return self.bank_policy.stat_repartitions

@@ -1,0 +1,121 @@
+"""Named approaches: partitioning policy x memory scheduler combinations.
+
+The paper's central observation is that bank partitioning and memory
+scheduling are orthogonal and compose. This module names every combination
+the evaluation uses — most importantly ``dbp-tcm`` — so experiments and
+examples can request them by string.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..baselines.base import PartitionPolicy, make_policy
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Approach:
+    """A (partitioning, scheduling) pair with display metadata."""
+
+    name: str
+    policy: str  # partition policy registry name
+    scheduler: str  # scheduler registry name
+    policy_params: Dict[str, object] = field(default_factory=dict)
+    scheduler_params: Dict[str, object] = field(default_factory=dict)
+    description: str = ""
+
+    def make_policy(self) -> PartitionPolicy:
+        """Instantiate this approach's partitioning policy."""
+        return make_policy(self.policy, **self.policy_params)
+
+
+APPROACHES: Dict[str, Approach] = {
+    approach.name: approach
+    for approach in (
+        Approach(
+            "shared-fcfs",
+            "shared",
+            "fcfs",
+            description="No partitioning, strict FCFS (weakest baseline)",
+        ),
+        Approach(
+            "shared-frfcfs",
+            "shared",
+            "frfcfs",
+            description="No partitioning, FR-FCFS (the unmanaged baseline)",
+        ),
+        Approach(
+            "parbs",
+            "shared",
+            "parbs",
+            description="No partitioning, PAR-BS batch scheduling",
+        ),
+        Approach(
+            "atlas",
+            "shared",
+            "atlas",
+            description="No partitioning, ATLAS least-attained-service",
+        ),
+        Approach(
+            "tcm",
+            "shared",
+            "tcm",
+            description="No partitioning, Thread Cluster Memory scheduling",
+        ),
+        Approach(
+            "bliss",
+            "shared",
+            "bliss",
+            description="No partitioning, BLISS blacklisting scheduler",
+        ),
+        Approach(
+            "ebp",
+            "ebp",
+            "frfcfs",
+            description="Equal static bank partitioning over FR-FCFS",
+        ),
+        Approach(
+            "dbp",
+            "dbp",
+            "frfcfs",
+            description="Dynamic Bank Partitioning over FR-FCFS (ours)",
+        ),
+        Approach(
+            "mcp",
+            "mcp",
+            "frfcfs",
+            description="Memory Channel Partitioning over FR-FCFS",
+        ),
+        Approach(
+            "ebp-tcm",
+            "ebp",
+            "tcm",
+            description="Equal bank partitioning combined with TCM (ablation)",
+        ),
+        Approach(
+            "dbp-tcm",
+            "dbp",
+            "tcm",
+            description="Dynamic Bank Partitioning combined with TCM (ours)",
+        ),
+        Approach(
+            "dbp+mcp",
+            "dbp+mcp",
+            "frfcfs",
+            description="Combined channel + bank partitioning (extension)",
+        ),
+    )
+}
+
+
+def get_approach(name: str) -> Approach:
+    """Look up an approach by name."""
+    try:
+        return APPROACHES[name]
+    except KeyError:
+        known = ", ".join(sorted(APPROACHES))
+        raise ConfigError(
+            f"unknown approach {name!r}; known: {known}"
+        ) from None

@@ -1,0 +1,148 @@
+"""Runtime per-thread memory-behaviour profiling.
+
+This is the measurement half of DBP's "profile threads' memory
+characteristics at run-time": the profiler listens to every channel
+controller and maintains, per thread and per epoch:
+
+* request count (→ MPKI, using retirement counters from the cores),
+* row-buffer hits among served requests (→ RBH),
+* a time-weighted integral of how many banks hold outstanding requests
+  while the thread has any outstanding request at all (→ BLP), and
+* data-bus service cycles (→ bandwidth share).
+
+The same snapshots feed both DBP's demand estimation and the adaptive
+schedulers (TCM clustering/niceness, ATLAS ranks), because the paper's
+policies deliberately consume the same cheap hardware counters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..memctrl.request import Request
+from ..memctrl.schedulers.base import ProfileSnapshot, ThreadProfile
+
+
+class _ThreadState:
+    __slots__ = (
+        "requests",
+        "served",
+        "row_hits",
+        "service_cycles",
+        "outstanding_per_bank",
+        "active_banks",
+        "blp_integral",
+        "active_time",
+        "last_change",
+        "last_retired",
+    )
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.served = 0
+        self.row_hits = 0
+        self.service_cycles = 0
+        self.outstanding_per_bank: Dict[tuple, int] = {}
+        self.active_banks = 0
+        self.blp_integral = 0
+        self.active_time = 0
+        self.last_change = 0
+        self.last_retired = 0
+
+
+class ThreadProfiler:
+    """Controller listener producing per-epoch :class:`ProfileSnapshot`."""
+
+    def __init__(
+        self,
+        num_threads: int,
+        burst_cycles: int,
+        retired_insts_of: Callable[[int], int],
+    ) -> None:
+        self.num_threads = num_threads
+        self.burst_cycles = burst_cycles
+        self.retired_insts_of = retired_insts_of
+        self._threads: Dict[int, _ThreadState] = {
+            t: _ThreadState() for t in range(num_threads)
+        }
+        self._epoch_start = 0
+
+    # ------------------------------------------------------------------
+    # Controller listener interface.
+    # ------------------------------------------------------------------
+    def on_arrival(self, request: Request, now: int) -> None:
+        if request.is_migration:
+            return
+        state = self._threads[request.thread_id]
+        state.requests += 1
+        self._flush_blp(state, now)
+        bank = request.bank_key
+        count = state.outstanding_per_bank.get(bank, 0)
+        state.outstanding_per_bank[bank] = count + 1
+        if count == 0:
+            state.active_banks += 1
+
+    def on_cas(self, request: Request, now: int, row_hit: bool) -> None:
+        if request.is_migration:
+            return
+        state = self._threads[request.thread_id]
+        state.served += 1
+        if row_hit:
+            state.row_hits += 1
+        state.service_cycles += self.burst_cycles
+        self._flush_blp(state, now)
+        bank = request.bank_key
+        count = state.outstanding_per_bank.get(bank, 0) - 1
+        if count <= 0:
+            state.outstanding_per_bank.pop(bank, None)
+            state.active_banks -= 1
+        else:
+            state.outstanding_per_bank[bank] = count
+
+    def _flush_blp(self, state: _ThreadState, now: int) -> None:
+        if state.active_banks > 0 and now > state.last_change:
+            elapsed = now - state.last_change
+            state.blp_integral += state.active_banks * elapsed
+            state.active_time += elapsed
+        state.last_change = max(state.last_change, now)
+
+    # ------------------------------------------------------------------
+    # Epoch boundary.
+    # ------------------------------------------------------------------
+    def snapshot(self, now: int) -> ProfileSnapshot:
+        """Close the current epoch and return its per-thread profiles.
+
+        Epoch counters reset; outstanding-request state carries over so BLP
+        accounting stays exact across the boundary.
+        """
+        elapsed = max(1, now - self._epoch_start)
+        profiles: Dict[int, ThreadProfile] = {}
+        for thread_id, state in self._threads.items():
+            self._flush_blp(state, now)
+            retired_now = self.retired_insts_of(thread_id)
+            insts = max(0, retired_now - state.last_retired)
+            mpki = 1000.0 * state.requests / insts if insts else 0.0
+            rbh = state.row_hits / state.served if state.served else 0.0
+            blp = (
+                state.blp_integral / state.active_time
+                if state.active_time
+                else 0.0
+            )
+            bandwidth = state.service_cycles / elapsed
+            profiles[thread_id] = ThreadProfile(
+                thread_id=thread_id,
+                mpki=mpki,
+                rbh=rbh,
+                blp=blp,
+                bandwidth=bandwidth,
+                requests=state.requests,
+            )
+            state.requests = 0
+            state.served = 0
+            state.row_hits = 0
+            state.service_cycles = 0
+            state.blp_integral = 0
+            state.active_time = 0
+            state.last_retired = retired_now
+        self._epoch_start = now
+        return ProfileSnapshot(cycle=now, threads=profiles)

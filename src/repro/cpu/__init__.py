@@ -1,0 +1,14 @@
+"""Trace-driven core model.
+
+A :class:`~repro.cpu.trace.Trace` is a sequence of (compute gap, memory
+access) records; a :class:`~repro.cpu.core.Core` replays it through an
+event-driven interval model of a W-wide out-of-order core with an R-entry
+ROB and an MSHR-limited number of outstanding misses. The model costs one
+event per memory request rather than one per cycle, which is what makes a
+pure-Python cycle study of this scale feasible.
+"""
+
+from .trace import Trace, TraceRecord, load_trace, save_trace
+from .core import Core, CoreStats
+
+__all__ = ["Trace", "TraceRecord", "load_trace", "save_trace", "Core", "CoreStats"]

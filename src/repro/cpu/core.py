@@ -1,0 +1,330 @@
+"""Event-driven interval model of an out-of-order core.
+
+The model reproduces the processor abstraction this paper family simulates —
+a W-wide core with an R-entry ROB and MSHR-limited memory-level parallelism —
+at a cost of O(1) work per *memory request* instead of per cycle:
+
+* Instructions retire in order. A block of ``gap`` non-memory instructions
+  retires at ``width`` per cycle; a read retires one cycle after its data
+  returns; writes never block retirement (they drain through a store buffer,
+  the standard simplification). Retirement is charged per *record*:
+  each (gap, memory-instruction) bundle costs ``ceil((gap+1)/width)``
+  cycles, with no packing of one record's instructions into another
+  record's final retire cycle — the usual interval-model granularity,
+  which overstates compute time by at most ``(width-1)/(gap+1)`` per
+  record and affects alone and shared runs identically (so it largely
+  cancels out of the slowdown-based metrics). The per-cycle reference
+  model in ``tests/test_core_reference.py`` pins down these semantics.
+* A memory instruction issues its request the cycle it enters the ROB, i.e.
+  when retirement comes within ``rob_size`` instructions of it, provided an
+  MSHR is free (reads only — writes are fire-and-forget).
+* Retirement is allowed to be *computed* ahead of simulated time by at most
+  ``ahead_limit`` cycles (it is deterministic once request completions are
+  known), which bounds the skew of epoch-based profiling counters while
+  keeping the event count low.
+
+The core talks to the rest of the system through a ``MemoryPort``: a single
+``access`` call that either returns a synchronously known completion cycle
+(a cache hit) or arranges a callback (a DRAM access).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, Protocol, Tuple
+
+from ..config import CoreConfig
+from ..errors import SimulationError
+from ..utils import ceil_div
+from .trace import Trace
+
+
+class MemoryPort(Protocol):
+    """What a core needs from the memory system."""
+
+    def access(
+        self,
+        thread_id: int,
+        vline: int,
+        is_write: bool,
+        at: int,
+        on_complete: Optional[Callable[[int], None]],
+    ) -> Optional[int]:
+        """Perform one access at cycle ``at``.
+
+        Returns the completion cycle if it is synchronously known (a cache
+        hit), otherwise ``None`` and ``on_complete(cycle)`` fires later.
+        """
+
+
+class WakeScheduler(Protocol):
+    """Minimal engine surface the core uses to resume after an ahead-cap."""
+
+    def schedule(self, cycle: int, callback: Callable[[int], None]) -> None:
+        """Invoke ``callback(cycle)`` when simulated time reaches ``cycle``."""
+
+
+class CoreStats:
+    """Counters a core exposes to the runner and the profiler."""
+
+    __slots__ = (
+        "retired_insts",
+        "reads_issued",
+        "writes_issued",
+        "finished",
+    )
+
+    def __init__(self) -> None:
+        self.retired_insts = 0
+        self.reads_issued = 0
+        self.writes_issued = 0
+        self.finished = False
+
+
+# History entry fields: (m_prev, m_end, t_start, t_end, gap)
+_HistEntry = Tuple[int, int, int, int, int]
+
+
+class Core:
+    """Replays one trace against the memory system until ``horizon``."""
+
+    def __init__(
+        self,
+        core_id: int,
+        config: CoreConfig,
+        trace: Trace,
+        port: MemoryPort,
+        scheduler: WakeScheduler,
+        horizon: int,
+        ahead_limit: int = 8192,
+    ) -> None:
+        if horizon <= 0:
+            raise SimulationError("horizon must be positive")
+        self.core_id = core_id
+        self.config = config
+        self.trace = trace
+        self.port = port
+        self.scheduler = scheduler
+        self.horizon = horizon
+        self.ahead_limit = ahead_limit
+        self.stats = CoreStats()
+        # Virtual (looping) record indexing.
+        self._n = len(trace)
+        self._records = trace.records
+        self._cum = trace.cumulative_insts
+        self._insts_per_loop = trace.total_insts
+        # Retirement state.
+        self._retire_idx = 0
+        self._retire_clock = 0
+        self._retired_processed = 0  # instructions retired (processed)
+        self._history: Deque[_HistEntry] = deque()
+        self._history_span = config.rob_size + 2
+        # Issue state.
+        self._issue_idx = 0
+        self._last_issue = -1
+        self._issue_floor = 0
+        self._outstanding_reads = 0
+        self._complete: Dict[int, int] = {}
+        self._wake_scheduled = False
+
+    # ------------------------------------------------------------------
+    # Virtual-index helpers (traces loop past their end).
+    # ------------------------------------------------------------------
+    def _m(self, virt_idx: int) -> int:
+        loops, i = divmod(virt_idx, self._n)
+        return loops * self._insts_per_loop + self._cum[i]
+
+    def _record(self, virt_idx: int):
+        return self._records[virt_idx % self._n]
+
+    # ------------------------------------------------------------------
+    # Public surface.
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Kick the core off at cycle 0."""
+        self.process(0)
+
+    def process(self, now: int) -> None:
+        """Advance retirement and issue as far as currently determined."""
+        while True:
+            progressed = False
+            if not self.stats.finished:
+                progressed = self._advance_retirement(now)
+            # Issue even after the horizon froze retirement: non-blocking
+            # requests (writes, fills) whose issue time falls before the
+            # horizon still belong on the memory system.
+            progressed |= self._issue_requests(now)
+            if not progressed:
+                break
+        if self.stats.finished:
+            return
+        # If the only thing stopping retirement is the ahead-cap, resume when
+        # simulated time catches up.
+        if (
+            not self._wake_scheduled
+            and self._retire_clock >= now + self.ahead_limit
+        ):
+            self._wake_scheduled = True
+            self.scheduler.schedule(self._retire_clock, self._on_wake)
+
+    def _on_wake(self, now: int) -> None:
+        self._wake_scheduled = False
+        self.process(now)
+
+    def _on_read_complete(self, virt_idx: int, now: int) -> None:
+        if self._outstanding_reads >= self.config.mshrs:
+            # This completion frees the MSHR that was gating issue.
+            self._issue_floor = max(self._issue_floor, now)
+        self._outstanding_reads -= 1
+        self._complete[virt_idx] = now
+        self.process(now)
+
+    # ------------------------------------------------------------------
+    # Retirement.
+    # ------------------------------------------------------------------
+    def _advance_retirement(self, now: int) -> bool:
+        width = self.config.width
+        limit = now + self.ahead_limit
+        progressed = False
+        while self._retire_clock < limit:
+            idx = self._retire_idx
+            # Retirement may pass unissued writes (they never block), but
+            # not so far that the crossing-time history for those writes'
+            # issue thresholds gets evicted; the process loop alternates
+            # back to issuing once this cap is hit.
+            if idx - self._issue_idx >= self._history_span - 2:
+                break
+            record = self._record(idx)
+            completion: Optional[int] = None
+            if not record.is_write:
+                completion = self._complete.get(idx)
+                if completion is None:
+                    break  # head read still outstanding (or not yet issued)
+            t_start = self._retire_clock
+            t_end = t_start + ceil_div(record.gap + 1, width)
+            if completion is not None:
+                t_end = max(t_end, completion + 1)
+            if t_end >= self.horizon:
+                self._finish_at_horizon(t_start, record.gap, width)
+                return True
+            m_prev = self._retired_processed
+            m_end = self._m(idx)
+            self._history.append((m_prev, m_end, t_start, t_end, record.gap))
+            if len(self._history) > self._history_span:
+                self._history.popleft()
+            self._retire_idx += 1
+            self._retire_clock = t_end
+            self._retired_processed = m_end
+            if completion is not None:
+                del self._complete[idx]
+            progressed = True
+        return progressed
+
+    def _finish_at_horizon(self, t_start: int, gap: int, width: int) -> None:
+        """Freeze the core, crediting the instructions retired by horizon."""
+        partial = 0
+        if self.horizon > t_start:
+            partial = min(gap, width * (self.horizon - t_start))
+        self.stats.retired_insts = self._retired_processed + partial
+        self.stats.finished = True
+
+    # ------------------------------------------------------------------
+    # Issue.
+    # ------------------------------------------------------------------
+    def _issue_requests(self, now: int) -> bool:
+        progressed = False
+        while True:
+            idx = self._issue_idx
+            record = self._record(idx)
+            if not record.is_write and (
+                self._outstanding_reads >= self.config.mshrs
+            ):
+                break
+            threshold = self._m(idx) - self.config.rob_size
+            cross = self._crossing_time(threshold)
+            if cross is None:
+                break  # ROB window has not reached this record yet
+            t_issue = max(cross, self._last_issue + 1, self._issue_floor)
+            if t_issue >= self.horizon:
+                break  # nothing past the horizon matters
+            self._dispatch(idx, record, t_issue)
+            self._issue_idx += 1
+            self._last_issue = t_issue
+            progressed = True
+        return progressed
+
+    def _dispatch(self, virt_idx: int, record, t_issue: int) -> None:
+        if record.is_write:
+            self.port.access(
+                self.core_id, record.vline, True, t_issue, None
+            )
+            self.stats.writes_issued += 1
+            return
+        self._outstanding_reads += 1
+        self.stats.reads_issued += 1
+        callback = lambda cycle, i=virt_idx: self._on_read_complete(i, cycle)
+        sync = self.port.access(
+            self.core_id, record.vline, False, t_issue, callback
+        )
+        if sync is not None:
+            # Synchronously known latency (cache hit): complete inline.
+            self._outstanding_reads -= 1
+            self._complete[virt_idx] = sync
+
+    def _crossing_time(self, threshold: int) -> Optional[int]:
+        """Cycle at which cumulative retirement reaches ``threshold``.
+
+        Returns None when retirement has not been processed that far.
+        Thresholds are queried in non-decreasing order, so consumed history
+        can be discarded.
+        """
+        if threshold <= 0:
+            return 0
+        if threshold > self._retired_processed:
+            # The threshold may fall inside the *gap* (non-memory) phase of
+            # the record retirement is currently parked on: those
+            # instructions retire on a schedule that is already known even
+            # though the record's memory instruction is still outstanding.
+            pending = self._record(self._retire_idx)
+            pending_limit = self._retired_processed + pending.gap
+            if threshold <= pending_limit:
+                offset = threshold - self._retired_processed
+                return self._retire_clock + ceil_div(offset, self.config.width)
+            return None
+        history = self._history
+        while history and history[0][1] < threshold:
+            history.popleft()
+        if not history:
+            raise SimulationError(
+                "retirement history evicted too early "
+                f"(threshold={threshold})"
+            )
+        m_prev, _m_end, t_start, t_end, gap = history[0]
+        offset = threshold - m_prev
+        if offset <= 0:
+            return t_start
+        if offset <= gap:
+            return min(t_end, t_start + ceil_div(offset, self.config.width))
+        return t_end
+
+    # ------------------------------------------------------------------
+    # Reporting.
+    # ------------------------------------------------------------------
+    @property
+    def retired_insts_processed(self) -> int:
+        """Instructions whose retirement has been computed so far."""
+        return self._retired_processed
+
+    @property
+    def outstanding_reads(self) -> int:
+        """Reads currently in flight to the memory system."""
+        return self._outstanding_reads
+
+    def ipc(self) -> float:
+        """Retired IPC over the full horizon (valid once finished)."""
+        if not self.stats.finished:
+            # The run was cut short by the engine (e.g. all cores idle);
+            # everything processed retired before the horizon.
+            self.stats.retired_insts = self._retired_processed
+            self.stats.finished = True
+        return self.stats.retired_insts / self.horizon

@@ -1,0 +1,86 @@
+"""Per-core stride prefetcher.
+
+A classic table-based stride prefetcher trained on the core's virtual
+cache-line stream: each table entry tracks the last address and stride of
+one access region (virtual page); after the same stride is seen twice, the
+prefetcher emits ``degree`` prefetch addresses ahead of the demand stream.
+
+Prefetching is **disabled by default** — the paper family evaluates without
+it — but it is a first-order interaction for bank partitioning (prefetchers
+multiply a streaming thread's outstanding requests and therefore its bank
+footprint), so the harness exposes it as an extension experiment (F11).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..config import PrefetcherConfig
+
+__all__ = ["PrefetcherConfig", "StridePrefetcher"]
+
+
+class _Entry:
+    __slots__ = ("last_vline", "stride", "confidence")
+
+    def __init__(self, vline: int) -> None:
+        self.last_vline = vline
+        self.stride = 0
+        self.confidence = 0
+
+
+class StridePrefetcher:
+    """One core's prefetch engine; operates on virtual line addresses."""
+
+    # Region granularity for table indexing: one virtual page of lines.
+    _REGION_BITS = 6
+
+    def __init__(self, config: PrefetcherConfig) -> None:
+        self.config = config
+        self._table: Dict[int, _Entry] = {}
+        self._lru: List[int] = []  # region keys, least recent first
+        self.stat_trained = 0
+        self.stat_prefetches = 0
+
+    def observe(self, vline: int) -> List[int]:
+        """Feed one demand access; returns virtual lines to prefetch."""
+        if not self.config.enabled:
+            return []
+        region = vline >> self._REGION_BITS
+        entry = self._table.get(region)
+        if entry is None:
+            self._insert(region, vline)
+            return []
+        self._touch(region)
+        stride = vline - entry.last_vline
+        prefetches: List[int] = []
+        if stride != 0 and stride == entry.stride:
+            if entry.confidence < 2:
+                entry.confidence += 1
+            if entry.confidence >= 2:
+                self.stat_trained += 1
+                base = vline + stride * self.config.distance
+                for k in range(self.config.degree):
+                    target = base + stride * k
+                    # Hardware stride prefetchers stop at the page boundary
+                    # (they work on physical addresses); mirror that here.
+                    if target >= 0 and (target >> self._REGION_BITS) == region:
+                        prefetches.append(target)
+                self.stat_prefetches += len(prefetches)
+        else:
+            entry.stride = stride
+            entry.confidence = 1 if stride != 0 else 0
+        entry.last_vline = vline
+        return prefetches
+
+    # ------------------------------------------------------------------
+    def _insert(self, region: int, vline: int) -> None:
+        if len(self._table) >= self.config.table_entries:
+            victim = self._lru.pop(0)
+            del self._table[victim]
+        self._table[region] = _Entry(vline)
+        self._lru.append(region)
+
+    def _touch(self, region: int) -> None:
+        self._lru.remove(region)
+        self._lru.append(region)

@@ -1,0 +1,118 @@
+"""Trace records and trace containers.
+
+A trace is the unit of workload: an ordered list of records, each meaning
+"execute ``gap`` non-memory instructions, then one memory instruction that
+touches virtual cache line ``vline``". Traces loop when replayed for longer
+than their length, which is the standard methodology for fixed-horizon
+multiprogrammed runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, NamedTuple, Sequence
+
+from ..errors import TraceError
+
+
+class TraceRecord(NamedTuple):
+    """One trace entry. ``vline`` is a virtual cache-line address."""
+
+    gap: int
+    vline: int
+    is_write: bool
+
+
+class Trace:
+    """An immutable memory trace with precomputed instruction offsets."""
+
+    def __init__(self, name: str, records: Sequence[TraceRecord]) -> None:
+        if not records:
+            raise TraceError(f"trace {name!r} is empty")
+        self.name = name
+        self.records: List[TraceRecord] = list(records)
+        for index, record in enumerate(self.records):
+            if record.gap < 0:
+                raise TraceError(
+                    f"trace {name!r} record {index}: negative gap {record.gap}"
+                )
+            if record.vline < 0:
+                raise TraceError(
+                    f"trace {name!r} record {index}: negative address"
+                )
+        # cumulative_insts[i] = instructions up to and including record i's
+        # memory instruction (each record is gap + 1 instructions).
+        self.cumulative_insts: List[int] = []
+        total = 0
+        for record in self.records:
+            total += record.gap + 1
+            self.cumulative_insts.append(total)
+        self.total_insts = total
+        self.total_requests = len(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def mean_gap(self) -> float:
+        """Average non-memory instructions between memory accesses."""
+        return (self.total_insts - self.total_requests) / self.total_requests
+
+    @property
+    def intrinsic_mpki(self) -> float:
+        """Memory accesses per kilo-instruction, before cache filtering."""
+        return 1000.0 * self.total_requests / self.total_insts
+
+    def footprint_lines(self) -> int:
+        """Number of distinct virtual lines the trace touches."""
+        return len({record.vline for record in self.records})
+
+
+def save_trace(trace: Trace, path: str) -> None:
+    """Write a trace in the plain-text interchange format.
+
+    Format: a header line ``#trace <name>``, then one record per line:
+    ``<gap> <vline> <R|W>``.
+    """
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(f"#trace {trace.name}\n")
+        for record in trace.records:
+            kind = "W" if record.is_write else "R"
+            handle.write(f"{record.gap} {record.vline} {kind}\n")
+
+
+def load_trace(path: str) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    records: List[TraceRecord] = []
+    name = "unnamed"
+    with open(path, "r", encoding="ascii") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#trace"):
+                parts = line.split(maxsplit=1)
+                if len(parts) == 2:
+                    name = parts[1]
+                continue
+            fields = line.split()
+            if len(fields) != 3 or fields[2] not in ("R", "W"):
+                raise TraceError(f"{path}:{line_no}: malformed record {line!r}")
+            try:
+                gap, vline = int(fields[0]), int(fields[1])
+            except ValueError:
+                raise TraceError(
+                    f"{path}:{line_no}: non-integer field in {line!r}"
+                ) from None
+            records.append(TraceRecord(gap, vline, fields[2] == "W"))
+    return Trace(name, records)
+
+
+def concatenate(name: str, traces: Iterable[Trace]) -> Trace:
+    """Join traces back to back (useful for building phased workloads)."""
+    records: List[TraceRecord] = []
+    for trace in traces:
+        records.extend(trace.records)
+    return Trace(name, records)

@@ -1,0 +1,166 @@
+"""Per-bank row-buffer state machine.
+
+A bank tracks its open row and the earliest CPU cycle at which each command
+class may legally be issued to it. The surrounding :class:`~repro.dram.rank.Rank`
+and :class:`~repro.dram.channel.Channel` add the rank- and bus-level
+constraints; a command is legal only when all three levels agree.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from ..errors import ProtocolError
+from .timing import DRAMTimings
+
+
+class BankState(enum.Enum):
+    """DDR3 bank states the model distinguishes."""
+
+    IDLE = "idle"  # precharged, no open row
+    ACTIVE = "active"  # a row is open in the row buffer
+
+
+class Bank:
+    """One DRAM bank: an open-row register plus timing horizons.
+
+    All ``earliest_*`` attributes are absolute CPU-cycle timestamps before
+    which the corresponding command must not be issued to this bank.
+    """
+
+    __slots__ = (
+        "rank_id",
+        "bank_id",
+        "timings",
+        "state",
+        "open_row",
+        "earliest_activate",
+        "earliest_read",
+        "earliest_write",
+        "earliest_precharge",
+        "stat_activates",
+        "stat_reads",
+        "stat_writes",
+        "stat_precharges",
+    )
+
+    def __init__(self, rank_id: int, bank_id: int, timings: DRAMTimings) -> None:
+        self.rank_id = rank_id
+        self.bank_id = bank_id
+        self.timings = timings
+        self.state = BankState.IDLE
+        self.open_row: Optional[int] = None
+        self.earliest_activate = 0
+        self.earliest_read = 0
+        self.earliest_write = 0
+        self.earliest_precharge = 0
+        self.stat_activates = 0
+        self.stat_reads = 0
+        self.stat_writes = 0
+        self.stat_precharges = 0
+
+    # ------------------------------------------------------------------
+    # Legality queries (bank-level constraints only).
+    # ------------------------------------------------------------------
+    def activate_ready_at(self) -> int:
+        """Earliest cycle an ACTIVATE is bank-legal (state permitting)."""
+        return self.earliest_activate
+
+    def cas_ready_at(self, is_write: bool) -> int:
+        """Earliest cycle a READ/WRITE to the open row is bank-legal."""
+        return self.earliest_write if is_write else self.earliest_read
+
+    def precharge_ready_at(self) -> int:
+        """Earliest cycle a PRECHARGE is bank-legal."""
+        return self.earliest_precharge
+
+    def is_open(self, row: int) -> bool:
+        """True if ``row`` is currently in the row buffer."""
+        return self.state is BankState.ACTIVE and self.open_row == row
+
+    # ------------------------------------------------------------------
+    # Command application. Each raises ProtocolError on an illegal command,
+    # which turns controller bugs into immediate, attributable failures.
+    # ------------------------------------------------------------------
+    def activate(self, now: int, row: int) -> None:
+        """Open ``row``; the bank must be precharged and past tRC/tRP."""
+        if self.state is not BankState.IDLE:
+            raise ProtocolError(
+                f"ACT to open bank rk{self.rank_id}/bk{self.bank_id} @{now}"
+            )
+        if now < self.earliest_activate:
+            raise ProtocolError(
+                f"ACT @{now} before earliest {self.earliest_activate} "
+                f"(rk{self.rank_id}/bk{self.bank_id})"
+            )
+        t = self.timings
+        self.state = BankState.ACTIVE
+        self.open_row = row
+        self.earliest_read = max(self.earliest_read, now + t.tRCD)
+        self.earliest_write = max(self.earliest_write, now + t.tRCD)
+        self.earliest_precharge = max(self.earliest_precharge, now + t.tRAS)
+        self.earliest_activate = max(self.earliest_activate, now + t.tRC)
+        self.stat_activates += 1
+
+    def read(self, now: int, row: int) -> int:
+        """Issue a READ to the open row; returns the last-data-beat cycle."""
+        self._check_cas(now, row, is_write=False)
+        t = self.timings
+        # READ constrains how soon the row may be closed (tRTP).
+        self.earliest_precharge = max(self.earliest_precharge, now + t.tRTP)
+        self.stat_reads += 1
+        return now + t.CL + t.tBURST
+
+    def write(self, now: int, row: int) -> int:
+        """Issue a WRITE to the open row; returns the last-data-beat cycle."""
+        self._check_cas(now, row, is_write=True)
+        t = self.timings
+        # Write recovery: row must stay open tWR after the last data beat.
+        data_end = now + t.CWL + t.tBURST
+        self.earliest_precharge = max(self.earliest_precharge, data_end + t.tWR)
+        self.stat_writes += 1
+        return data_end
+
+    def precharge(self, now: int) -> None:
+        """Close the open row; the bank becomes IDLE after tRP."""
+        if self.state is not BankState.ACTIVE:
+            raise ProtocolError(
+                f"PRE to idle bank rk{self.rank_id}/bk{self.bank_id} @{now}"
+            )
+        if now < self.earliest_precharge:
+            raise ProtocolError(
+                f"PRE @{now} before earliest {self.earliest_precharge} "
+                f"(rk{self.rank_id}/bk{self.bank_id})"
+            )
+        self.state = BankState.IDLE
+        self.open_row = None
+        self.earliest_activate = max(
+            self.earliest_activate, now + self.timings.tRP
+        )
+        self.stat_precharges += 1
+
+    def block_until(self, cycle: int) -> None:
+        """Push every horizon to ``cycle`` (used by rank-wide REFRESH)."""
+        self.earliest_activate = max(self.earliest_activate, cycle)
+        self.earliest_read = max(self.earliest_read, cycle)
+        self.earliest_write = max(self.earliest_write, cycle)
+        self.earliest_precharge = max(self.earliest_precharge, cycle)
+
+    def _check_cas(self, now: int, row: int, is_write: bool) -> None:
+        kind = "WR" if is_write else "RD"
+        if self.state is not BankState.ACTIVE:
+            raise ProtocolError(
+                f"{kind} to idle bank rk{self.rank_id}/bk{self.bank_id} @{now}"
+            )
+        if self.open_row != row:
+            raise ProtocolError(
+                f"{kind} to row {row} but row {self.open_row} is open "
+                f"(rk{self.rank_id}/bk{self.bank_id}) @{now}"
+            )
+        ready = self.cas_ready_at(is_write)
+        if now < ready:
+            raise ProtocolError(
+                f"{kind} @{now} before earliest {ready} "
+                f"(rk{self.rank_id}/bk{self.bank_id})"
+            )

@@ -1,0 +1,66 @@
+"""DRAM command vocabulary.
+
+The controller drives the device exclusively through :class:`Command`
+instances; the validator replays the same objects. Keeping the command a
+frozen dataclass makes streams hashable and safe to log.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class CommandType(enum.Enum):
+    """The five DDR3 commands the model issues."""
+
+    ACTIVATE = "ACT"
+    READ = "RD"
+    WRITE = "WR"
+    PRECHARGE = "PRE"
+    REFRESH = "REF"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+# Column commands occupy the shared data bus; the other commands only use
+# the command/address bus.
+CAS_COMMANDS = frozenset({CommandType.READ, CommandType.WRITE})
+
+
+@dataclass(frozen=True)
+class Command:
+    """One command as placed on a channel's command bus.
+
+    ``cycle`` is the CPU-cycle timestamp at which the command was issued.
+    ``row`` is meaningful only for ACTIVATE; REFRESH is rank-wide so ``bank``
+    is -1 for it.
+    """
+
+    cycle: int
+    kind: CommandType
+    channel: int
+    rank: int
+    bank: int
+    row: int = -1
+    thread_id: Optional[int] = None
+
+    def is_cas(self) -> bool:
+        """True for READ/WRITE, the commands that move data."""
+        return self.kind in CAS_COMMANDS
+
+    def same_bank(self, other: "Command") -> bool:
+        """True if ``other`` addresses the same (channel, rank, bank)."""
+        return (
+            self.channel == other.channel
+            and self.rank == other.rank
+            and self.bank == other.bank
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        target = f"ch{self.channel}/rk{self.rank}/bk{self.bank}"
+        if self.kind is CommandType.ACTIVATE:
+            target += f"/row{self.row}"
+        return f"@{self.cycle} {self.kind.value} {target}"

@@ -1,0 +1,165 @@
+"""DRAM energy estimation from command counts.
+
+A Micron-power-calculator-style model, simplified to the event granularity
+this simulator tracks: each command class carries a per-event energy, plus
+a background power term per rank. The per-event values are representative
+of 2 Gbit x8 DDR3 parts (derived from IDD current specs at nominal VDD);
+they are meant for *relative* comparisons between policies — e.g. "closed
+page spends N% more activate energy" — not for absolute datasheet
+validation.
+
+Usage::
+
+    from repro.dram.power import estimate_energy
+    report = estimate_energy(system)   # after system.run()
+    print(report.render())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class PowerParams:
+    """Per-event energies (nanojoules) and background power (milliwatts)."""
+
+    name: str
+    activate_precharge_nj: float  # one ACT + its eventual PRE, per bank
+    read_nj: float  # one read burst (BL8)
+    write_nj: float  # one write burst
+    refresh_nj: float  # one all-bank refresh of a rank
+    background_mw_per_rank: float  # standby power, always on
+
+    def __post_init__(self) -> None:
+        for name in (
+            "activate_precharge_nj",
+            "read_nj",
+            "write_nj",
+            "refresh_nj",
+            "background_mw_per_rank",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be non-negative")
+
+
+# Representative 2 Gbit x8 values (per-device numbers scaled to a 64-bit
+# rank of eight devices).
+DDR3_1066_POWER = PowerParams(
+    name="DDR3-1066",
+    activate_precharge_nj=2.2,
+    read_nj=4.6,
+    write_nj=4.8,
+    refresh_nj=27.0,
+    background_mw_per_rank=530.0,
+)
+DDR3_1333_POWER = PowerParams(
+    name="DDR3-1333",
+    activate_precharge_nj=2.1,
+    read_nj=4.3,
+    write_nj=4.5,
+    refresh_nj=26.0,
+    background_mw_per_rank=560.0,
+)
+DDR3_1600_POWER = PowerParams(
+    name="DDR3-1600",
+    activate_precharge_nj=2.0,
+    read_nj=4.1,
+    write_nj=4.3,
+    refresh_nj=25.0,
+    background_mw_per_rank=590.0,
+)
+
+POWER_PRESETS: Dict[str, PowerParams] = {
+    p.name: p for p in (DDR3_1066_POWER, DDR3_1333_POWER, DDR3_1600_POWER)
+}
+
+
+@dataclass
+class EnergyReport:
+    """Energy breakdown of one run, in nanojoules."""
+
+    activate_nj: float = 0.0
+    read_nj: float = 0.0
+    write_nj: float = 0.0
+    refresh_nj: float = 0.0
+    background_nj: float = 0.0
+    per_channel_nj: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def dynamic_nj(self) -> float:
+        """Energy caused by commands (everything but background)."""
+        return (
+            self.activate_nj + self.read_nj + self.write_nj + self.refresh_nj
+        )
+
+    @property
+    def total_nj(self) -> float:
+        return self.dynamic_nj + self.background_nj
+
+    def render(self) -> str:
+        """Human-readable breakdown."""
+        rows = [
+            ("activate+precharge", self.activate_nj),
+            ("read bursts", self.read_nj),
+            ("write bursts", self.write_nj),
+            ("refresh", self.refresh_nj),
+            ("background", self.background_nj),
+            ("total", self.total_nj),
+        ]
+        width = max(len(label) for label, _ in rows)
+        lines = [
+            f"  {label:<{width}} : {value / 1e6:10.3f} mJ"
+            for label, value in rows
+        ]
+        return "\n".join(lines)
+
+
+def estimate_energy(system, params: PowerParams = None) -> EnergyReport:
+    """Estimate DRAM energy of a finished :class:`~repro.sim.system.System`.
+
+    Uses the per-bank command counters the device model maintains plus the
+    elapsed simulated time for the background term. The CPU-cycle clock is
+    converted to seconds through the preset's tCK and the system's clock
+    ratio.
+    """
+    config = system.config
+    if params is None:
+        preset_name = config.dram_preset
+        try:
+            params = POWER_PRESETS[preset_name]
+        except KeyError:
+            raise ConfigError(
+                f"no power parameters for preset {preset_name!r}"
+            ) from None
+    report = EnergyReport()
+    for channel in system.channels:
+        channel_nj = 0.0
+        for rank in channel.ranks:
+            for bank in rank.banks:
+                act = bank.stat_activates * params.activate_precharge_nj
+                rd = bank.stat_reads * params.read_nj
+                wr = bank.stat_writes * params.write_nj
+                report.activate_nj += act
+                report.read_nj += rd
+                report.write_nj += wr
+                channel_nj += act + rd + wr
+            ref = rank.stat_refreshes * params.refresh_nj
+            report.refresh_nj += ref
+            channel_nj += ref
+        report.per_channel_nj[channel.channel_id] = channel_nj
+    # Background: elapsed wall time = cycles * tCK / clock_ratio... the
+    # engine counts CPU cycles, each lasting tCK / clock_ratio picoseconds?
+    # No: one DRAM bus cycle = clock_ratio CPU cycles = tCK picoseconds.
+    from ..dram.timing import preset as timing_preset
+
+    tck_ps = timing_preset(config.dram_preset).tCK_ps
+    elapsed_s = system.engine.now / config.clock_ratio * tck_ps * 1e-12
+    ranks_total = config.organization.channels * config.organization.ranks_per_channel
+    report.background_nj = (
+        params.background_mw_per_rank * 1e-3 * ranks_total * elapsed_s * 1e9
+    )
+    return report

@@ -1,0 +1,96 @@
+"""Rank-level DRAM state: ACTIVATE throttling and refresh.
+
+The rank enforces the two cross-bank activation constraints (tRRD between any
+two ACTIVATEs, and at most four ACTIVATEs in any tFAW window) and owns the
+refresh schedule. Refresh is modelled as the standard all-bank auto-refresh:
+every bank must be precharged, then the whole rank is busy for tRFC.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List
+
+from ..errors import ProtocolError
+from .bank import Bank, BankState
+from .timing import DRAMTimings
+
+
+class Rank:
+    """A rank: a set of banks sharing activation and refresh resources."""
+
+    def __init__(
+        self,
+        channel_id: int,
+        rank_id: int,
+        num_banks: int,
+        timings: DRAMTimings,
+        refresh_enabled: bool = True,
+    ) -> None:
+        self.channel_id = channel_id
+        self.rank_id = rank_id
+        self.timings = timings
+        self.refresh_enabled = refresh_enabled
+        self.banks: List[Bank] = [
+            Bank(rank_id, b, timings) for b in range(num_banks)
+        ]
+        # Timestamps of the most recent ACTIVATEs, for the tFAW window.
+        self._recent_activates: Deque[int] = deque(maxlen=4)
+        self._last_activate = -(10**9)
+        self.next_refresh_due = timings.tREFI if refresh_enabled else 1 << 62
+        self.stat_refreshes = 0
+
+    # ------------------------------------------------------------------
+    # Activation constraints.
+    # ------------------------------------------------------------------
+    def activate_ready_at(self) -> int:
+        """Earliest cycle any ACTIVATE is rank-legal (tRRD and tFAW)."""
+        ready = self._last_activate + self.timings.tRRD
+        if len(self._recent_activates) == 4:
+            ready = max(ready, self._recent_activates[0] + self.timings.tFAW)
+        return ready
+
+    def record_activate(self, now: int) -> None:
+        """Account an ACTIVATE against the tRRD/tFAW windows."""
+        if now < self.activate_ready_at():
+            raise ProtocolError(
+                f"ACT @{now} violates rank rk{self.rank_id} tRRD/tFAW "
+                f"(ready @{self.activate_ready_at()})"
+            )
+        self._recent_activates.append(now)
+        self._last_activate = now
+
+    # ------------------------------------------------------------------
+    # Refresh.
+    # ------------------------------------------------------------------
+    def refresh_pending(self, now: int) -> bool:
+        """True when a refresh is due at or before ``now``."""
+        return self.refresh_enabled and now >= self.next_refresh_due
+
+    def all_banks_idle(self) -> bool:
+        """True when every bank is precharged (refresh precondition)."""
+        return all(b.state is BankState.IDLE for b in self.banks)
+
+    def refresh(self, now: int) -> int:
+        """Perform an all-bank refresh; returns the cycle the rank frees up."""
+        if not self.refresh_enabled:
+            raise ProtocolError("refresh issued with refresh disabled")
+        if not self.all_banks_idle():
+            raise ProtocolError(
+                f"REF @{now} with open banks in rk{self.rank_id}"
+            )
+        done = now + self.timings.tRFC
+        for bank in self.banks:
+            bank.block_until(done)
+        # Schedule the next refresh one tREFI after this one was *due*, so a
+        # late refresh does not drift the schedule.
+        self.next_refresh_due += self.timings.tREFI
+        self.stat_refreshes += 1
+        return done
+
+    # ------------------------------------------------------------------
+    # Introspection helpers used by schedulers and stats.
+    # ------------------------------------------------------------------
+    def open_row_count(self) -> int:
+        """Number of banks currently holding an open row."""
+        return sum(1 for b in self.banks if b.state is BankState.ACTIVE)

@@ -1,0 +1,196 @@
+"""DDR3 timing parameter sets.
+
+All fields are expressed in DRAM bus cycles exactly as a datasheet gives
+them. The simulator runs on a single CPU-cycle clock, so
+:func:`scaled_timings` multiplies every field by the CPU:DRAM clock ratio
+before the device model sees it.
+
+The presets follow JEDEC DDR3 datasheet values for 2 Gbit x8 parts; they are
+the configurations the TCM/MCP/DBP papers evaluate on (DDR3-1066 in TCM,
+DDR3-1333/1600 in later work).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class DRAMTimings:
+    """Primary DDR3 timing constraints, in DRAM bus cycles.
+
+    Attributes mirror datasheet names:
+
+    * ``tCK_ps``  — bus clock period in picoseconds (informational).
+    * ``CL``      — CAS latency, READ to first data.
+    * ``CWL``     — CAS write latency, WRITE to first data.
+    * ``tBURST``  — data-bus occupancy of one column access (BL8 => 4).
+    * ``tRCD``    — ACTIVATE to READ/WRITE, same bank.
+    * ``tRP``     — PRECHARGE to ACTIVATE, same bank.
+    * ``tRAS``    — ACTIVATE to PRECHARGE, same bank (minimum row open time).
+    * ``tRC``     — ACTIVATE to ACTIVATE, same bank (tRAS + tRP).
+    * ``tRRD``    — ACTIVATE to ACTIVATE, different banks, same rank.
+    * ``tFAW``    — rolling window allowing at most four ACTIVATEs per rank.
+    * ``tCCD``    — CAS to CAS, same rank.
+    * ``tRTP``    — READ to PRECHARGE, same bank.
+    * ``tWR``     — end of write data to PRECHARGE, same bank.
+    * ``tWTR``    — end of write data to READ, same rank.
+    * ``tRTW``    — READ command to WRITE command, same channel (bus turnaround).
+    * ``tRTRS``   — rank-to-rank data-bus switch penalty.
+    * ``tREFI``   — average interval between refresh commands.
+    * ``tRFC``    — refresh cycle time (rank busy after REFRESH).
+    """
+
+    name: str
+    tCK_ps: int
+    CL: int
+    CWL: int
+    tBURST: int
+    tRCD: int
+    tRP: int
+    tRAS: int
+    tRC: int
+    tRRD: int
+    tFAW: int
+    tCCD: int
+    tRTP: int
+    tWR: int
+    tWTR: int
+    tRTW: int
+    tRTRS: int
+    tREFI: int
+    tRFC: int
+
+    def __post_init__(self) -> None:
+        for field in dataclasses.fields(self):
+            if field.name in ("name",):
+                continue
+            value = getattr(self, field.name)
+            if not isinstance(value, int) or value <= 0:
+                raise ConfigError(
+                    f"timing {field.name} must be a positive int, got {value!r}"
+                )
+        if self.tRC < self.tRAS + self.tRP:
+            raise ConfigError(
+                f"tRC ({self.tRC}) must be >= tRAS + tRP "
+                f"({self.tRAS} + {self.tRP})"
+            )
+        if self.tFAW < self.tRRD:
+            raise ConfigError("tFAW must be >= tRRD")
+
+    @property
+    def read_latency(self) -> int:
+        """Cycles from READ issue to last data beat (CL + tBURST)."""
+        return self.CL + self.tBURST
+
+    @property
+    def write_latency(self) -> int:
+        """Cycles from WRITE issue to last data beat (CWL + tBURST)."""
+        return self.CWL + self.tBURST
+
+
+# DDR3-1066 (533 MHz bus), 7-7-7 grade — the configuration in the TCM paper.
+DDR3_1066 = DRAMTimings(
+    name="DDR3-1066",
+    tCK_ps=1875,
+    CL=7,
+    CWL=6,
+    tBURST=4,
+    tRCD=7,
+    tRP=7,
+    tRAS=20,
+    tRC=27,
+    tRRD=4,
+    tFAW=20,
+    tCCD=4,
+    tRTP=4,
+    tWR=8,
+    tWTR=4,
+    tRTW=5,
+    tRTRS=2,
+    tREFI=4160,
+    tRFC=86,
+)
+
+# DDR3-1333 (667 MHz bus), 9-9-9 grade.
+DDR3_1333 = DRAMTimings(
+    name="DDR3-1333",
+    tCK_ps=1500,
+    CL=9,
+    CWL=7,
+    tBURST=4,
+    tRCD=9,
+    tRP=9,
+    tRAS=24,
+    tRC=33,
+    tRRD=4,
+    tFAW=20,
+    tCCD=4,
+    tRTP=5,
+    tWR=10,
+    tWTR=5,
+    tRTW=6,
+    tRTRS=2,
+    tREFI=5200,
+    tRFC=107,
+)
+
+# DDR3-1600 (800 MHz bus), 11-11-11 grade — our default.
+DDR3_1600 = DRAMTimings(
+    name="DDR3-1600",
+    tCK_ps=1250,
+    CL=11,
+    CWL=8,
+    tBURST=4,
+    tRCD=11,
+    tRP=11,
+    tRAS=28,
+    tRC=39,
+    tRRD=5,
+    tFAW=24,
+    tCCD=4,
+    tRTP=6,
+    tWR=12,
+    tWTR=6,
+    tRTW=7,
+    tRTRS=2,
+    tREFI=6240,
+    tRFC=128,
+)
+
+PRESETS = {
+    preset.name: preset for preset in (DDR3_1066, DDR3_1333, DDR3_1600)
+}
+
+
+def preset(name: str) -> DRAMTimings:
+    """Look up a timing preset by datasheet name (e.g. ``"DDR3-1600"``)."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(PRESETS))
+        raise ConfigError(f"unknown DRAM preset {name!r}; known: {known}") from None
+
+
+def scaled_timings(timings: DRAMTimings, clock_ratio: int) -> DRAMTimings:
+    """Convert a preset from DRAM bus cycles to CPU cycles.
+
+    ``clock_ratio`` is the integer number of CPU cycles per DRAM bus cycle
+    (e.g. 4 for 3.2 GHz cores on an 800 MHz bus).
+    """
+    if clock_ratio < 1:
+        raise ConfigError(f"clock_ratio must be >= 1, got {clock_ratio}")
+    if clock_ratio == 1:
+        return timings
+    scaled = {}
+    for field in dataclasses.fields(timings):
+        value = getattr(timings, field.name)
+        if field.name in ("name", "tCK_ps"):
+            scaled[field.name] = value
+        else:
+            scaled[field.name] = value * clock_ratio
+    scaled["name"] = f"{timings.name}@x{clock_ratio}"
+    return DRAMTimings(**scaled)

@@ -1,0 +1,203 @@
+"""Independent DDR3 protocol checker.
+
+:class:`ProtocolValidator` replays a command stream and verifies every
+inter-command timing rule from first principles, sharing no state with the
+device model in :mod:`repro.dram.bank`/``rank``/``channel``. The test suite
+attaches it to full-system runs, so the device model and the validator guard
+each other: a bug in either produces a loud, attributable failure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..errors import ProtocolError
+from .commands import Command, CommandType
+from .timing import DRAMTimings
+
+_NEVER = -(10**9)
+
+
+@dataclass
+class _BankView:
+    open_row: Optional[int] = None
+    last_activate: int = _NEVER
+    last_precharge_done: int = _NEVER  # cycle bank becomes usable (PRE + tRP)
+    last_read: int = _NEVER
+    last_write_data_end: int = _NEVER
+    activate_count: int = 0
+
+
+@dataclass
+class _RankView:
+    recent_activates: Deque[int] = field(default_factory=lambda: deque(maxlen=4))
+    blocked_until: int = _NEVER  # refresh blackout
+    last_cas_issue: int = _NEVER
+    last_write_data_end: int = _NEVER
+
+
+class ProtocolValidator:
+    """Replays DRAM commands for one channel and raises on violations.
+
+    Feed it every command via :meth:`observe`, in issue order. Violations
+    raise :class:`ProtocolError` with the rule name in the message.
+    """
+
+    def __init__(
+        self,
+        timings: DRAMTimings,
+        num_ranks: int,
+        num_banks: int,
+        clock_ratio: int = 1,
+    ) -> None:
+        self.timings = timings
+        self.clock_ratio = clock_ratio
+        self._banks: Dict[Tuple[int, int], _BankView] = {
+            (r, b): _BankView()
+            for r in range(num_ranks)
+            for b in range(num_banks)
+        }
+        self._ranks: Dict[int, _RankView] = {
+            r: _RankView() for r in range(num_ranks)
+        }
+        self._last_cmd_cycle = _NEVER
+        self._last_data_end = _NEVER
+        self._last_data_rank: Optional[int] = None
+        self._last_read_issue = _NEVER
+        self.commands_checked = 0
+
+    # ------------------------------------------------------------------
+    def observe(self, cmd: Command) -> None:
+        """Check one command against every applicable rule."""
+        self._check_bus(cmd)
+        rank = self._ranks[cmd.rank]
+        if cmd.cycle < rank.blocked_until:
+            self._fail(cmd, f"rank in tRFC blackout until {rank.blocked_until}")
+        if cmd.kind is CommandType.ACTIVATE:
+            self._check_activate(cmd)
+        elif cmd.kind is CommandType.PRECHARGE:
+            self._check_precharge(cmd)
+        elif cmd.kind is CommandType.READ:
+            self._check_cas(cmd, is_write=False)
+        elif cmd.kind is CommandType.WRITE:
+            self._check_cas(cmd, is_write=True)
+        elif cmd.kind is CommandType.REFRESH:
+            self._check_refresh(cmd)
+        else:  # pragma: no cover - exhaustive
+            self._fail(cmd, "unknown command kind")
+        self._last_cmd_cycle = cmd.cycle
+        self.commands_checked += 1
+
+    def observe_all(self, commands: List[Command]) -> int:
+        """Check a full stream; returns the number of commands checked."""
+        for cmd in commands:
+            self.observe(cmd)
+        return self.commands_checked
+
+    # ------------------------------------------------------------------
+    def _fail(self, cmd: Command, rule: str) -> None:
+        raise ProtocolError(f"protocol violation [{rule}]: {cmd}")
+
+    def _check_bus(self, cmd: Command) -> None:
+        if self._last_cmd_cycle != _NEVER:
+            if cmd.cycle < self._last_cmd_cycle:
+                self._fail(cmd, "commands out of order")
+            if cmd.cycle - self._last_cmd_cycle < self.clock_ratio:
+                self._fail(cmd, "command bus: one command per bus cycle")
+
+    def _check_activate(self, cmd: Command) -> None:
+        t = self.timings
+        bank = self._banks[(cmd.rank, cmd.bank)]
+        rank = self._ranks[cmd.rank]
+        if bank.open_row is not None:
+            self._fail(cmd, "ACT to a bank with an open row")
+        if cmd.row < 0:
+            self._fail(cmd, "ACT without a row")
+        if cmd.cycle < bank.last_precharge_done:
+            self._fail(cmd, "tRP")
+        if bank.last_activate != _NEVER and cmd.cycle < bank.last_activate + t.tRC:
+            self._fail(cmd, "tRC")
+        if rank.recent_activates:
+            if cmd.cycle < rank.recent_activates[-1] + t.tRRD:
+                self._fail(cmd, "tRRD")
+            if (
+                len(rank.recent_activates) == 4
+                and cmd.cycle < rank.recent_activates[0] + t.tFAW
+            ):
+                self._fail(cmd, "tFAW")
+        bank.open_row = cmd.row
+        bank.last_activate = cmd.cycle
+        bank.activate_count += 1
+        rank.recent_activates.append(cmd.cycle)
+
+    def _check_precharge(self, cmd: Command) -> None:
+        t = self.timings
+        bank = self._banks[(cmd.rank, cmd.bank)]
+        if bank.open_row is None:
+            self._fail(cmd, "PRE to an idle bank")
+        if cmd.cycle < bank.last_activate + t.tRAS:
+            self._fail(cmd, "tRAS")
+        if bank.last_read != _NEVER and cmd.cycle < bank.last_read + t.tRTP:
+            self._fail(cmd, "tRTP")
+        if (
+            bank.last_write_data_end != _NEVER
+            and cmd.cycle < bank.last_write_data_end + t.tWR
+        ):
+            self._fail(cmd, "tWR")
+        bank.open_row = None
+        bank.last_precharge_done = cmd.cycle + t.tRP
+
+    def _check_cas(self, cmd: Command, is_write: bool) -> None:
+        t = self.timings
+        bank = self._banks[(cmd.rank, cmd.bank)]
+        rank = self._ranks[cmd.rank]
+        if bank.open_row is None:
+            self._fail(cmd, "CAS to an idle bank")
+        if cmd.cycle < bank.last_activate + t.tRCD:
+            self._fail(cmd, "tRCD")
+        if rank.last_cas_issue != _NEVER and cmd.cycle < rank.last_cas_issue + t.tCCD:
+            self._fail(cmd, "tCCD")
+        data_lead = t.CWL if is_write else t.CL
+        data_start = cmd.cycle + data_lead
+        data_end = data_start + t.tBURST
+        if self._last_data_end != _NEVER:
+            gap = (
+                t.tRTRS
+                if self._last_data_rank not in (None, cmd.rank)
+                else 0
+            )
+            if data_start < self._last_data_end + gap:
+                self._fail(cmd, "data bus overlap / tRTRS")
+        if is_write:
+            if (
+                self._last_read_issue != _NEVER
+                and cmd.cycle < self._last_read_issue + t.tRTW
+            ):
+                self._fail(cmd, "tRTW")
+            rank.last_write_data_end = data_end
+            bank.last_write_data_end = data_end
+        else:
+            if (
+                rank.last_write_data_end != _NEVER
+                and cmd.cycle < rank.last_write_data_end + t.tWTR
+            ):
+                self._fail(cmd, "tWTR")
+            self._last_read_issue = cmd.cycle
+            bank.last_read = cmd.cycle
+        rank.last_cas_issue = cmd.cycle
+        self._last_data_end = data_end
+        self._last_data_rank = cmd.rank
+
+    def _check_refresh(self, cmd: Command) -> None:
+        t = self.timings
+        rank = self._ranks[cmd.rank]
+        for (r, _b), bank in self._banks.items():
+            if r != cmd.rank:
+                continue
+            if bank.open_row is not None:
+                self._fail(cmd, "REF with open banks")
+            if cmd.cycle < bank.last_precharge_done:
+                self._fail(cmd, "REF before tRP complete")
+        rank.blocked_until = cmd.cycle + t.tRFC

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by this package derive from :class:`ReproError`, so callers
+can catch one type at the API boundary. The subtypes mirror the subsystem that
+raised them, which keeps failure reports readable when a multi-component
+simulation aborts.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value."""
+
+
+class ProtocolError(ReproError):
+    """A DRAM command violated the DDR3 timing/state protocol.
+
+    Raised by the device model when the controller attempts an illegal
+    command, and by :class:`repro.dram.validator.ProtocolValidator` when an
+    observed command stream breaks a timing rule.
+    """
+
+
+class MappingError(ReproError):
+    """An address could not be mapped or decomposed."""
+
+
+class AllocationError(ReproError):
+    """The OS page allocator could not satisfy a request."""
+
+
+class TraceError(ReproError):
+    """A trace record or trace file is malformed."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""
+
+
+class ExperimentError(ReproError):
+    """An experiment definition or run is invalid."""

@@ -1,0 +1,97 @@
+"""Experiment results and plain-text rendering.
+
+An :class:`ExperimentResult` is the paper-facing artifact of a run: the
+table/figure id, the rows a reader would see, and a ``summary`` of named
+scalar deltas (the "+4.3%"-style numbers the abstract quotes) that the
+benches assert shape properties on and EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table or figure."""
+
+    exp_id: str
+    title: str
+    columns: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+    summary: Dict[str, float] = field(default_factory=dict)
+    notes: str = ""
+
+    def render(self) -> str:
+        """The experiment as a paper-style text table."""
+        header = f"[{self.exp_id}] {self.title}"
+        parts = [header, "=" * len(header)]
+        parts.append(render_table(self.columns, self.rows))
+        if self.summary:
+            parts.append("")
+            width = max(len(k) for k in self.summary)
+            for key, value in self.summary.items():
+                parts.append(f"  {key:<{width}} : {value:+.2f}%")
+        if self.notes:
+            parts.append("")
+            parts.append(f"  note: {self.notes}")
+        return "\n".join(parts)
+
+    def column(self, name: str) -> List[object]:
+        """All values of one column, by header name."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def to_csv(self) -> str:
+        """The table as CSV (header row first; summary/notes omitted)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.columns)
+        writer.writerows(self.rows)
+        return buffer.getvalue()
+
+    def to_json(self) -> str:
+        """The full result — rows, summary, notes — as a JSON document."""
+        return json.dumps(
+            {
+                "exp_id": self.exp_id,
+                "title": self.title,
+                "columns": list(self.columns),
+                "rows": [list(row) for row in self.rows],
+                "summary": dict(self.summary),
+                "notes": self.notes,
+            },
+            indent=2,
+        )
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(columns: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width text table with a header rule."""
+    cells = [[_format_cell(v) for v in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(v.ljust(widths[i]) for i, v in enumerate(values)).rstrip()
+
+    out = [line(list(columns)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def percent_delta(new: float, base: float) -> float:
+    """Relative change of ``new`` over ``base`` in percent."""
+    if base == 0:
+        raise ZeroDivisionError("baseline value is zero")
+    return 100.0 * (new / base - 1.0)

@@ -1,0 +1,5 @@
+"""Physical address mapping and page-color extraction."""
+
+from .address import AddressMap, MemLocation
+
+__all__ = ["AddressMap", "MemLocation"]

@@ -1,0 +1,213 @@
+"""Physical-address field layout.
+
+The layout, from the least-significant bit of the *cache-line* address, is::
+
+    [ column | channel | rank | bank | row ]
+
+With a row buffer of at least one page, the channel/rank/bank bits all sit
+above the page offset, i.e. inside the physical frame number. That is the
+property page-coloring partitioning relies on: by choosing which frames a
+thread's pages land in, the OS chooses which banks and channels the thread
+touches. The partitioning unit is the **bank color** — the (rank, bank) index
+within a channel — so bank partitioning restricts banks while leaving every
+channel usable, and channel partitioning (MCP) restricts channels while
+leaving every bank usable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..config import DRAMOrganization
+from ..errors import MappingError
+from ..utils import ilog2
+
+
+@dataclass(frozen=True)
+class MemLocation:
+    """A decoded DRAM coordinate for one cache line."""
+
+    channel: int
+    rank: int
+    bank: int
+    row: int
+    col: int
+
+    @property
+    def bank_key(self) -> tuple:
+        """Globally unique bank identifier, for BLP accounting."""
+        return (self.channel, self.rank, self.bank)
+
+
+class AddressMap:
+    """Bidirectional mapping between addresses and DRAM coordinates.
+
+    ``bank_xor`` enables permutation-based bank interleaving (Zhang et al.,
+    MICRO 2000): the bank index is XORed with the low row bits, so rows
+    that would collide in one bank spread over all banks. This is the
+    *hardware* alternative to partitioning that the paper's related work
+    discusses — note that it deliberately defeats OS page coloring (the
+    allocator's bank colors no longer pin the physical bank), so it is only
+    meaningful together with the shared (unpartitioned) policy.
+    """
+
+    def __init__(
+        self, org: DRAMOrganization, page_size: int, bank_xor: bool = False
+    ) -> None:
+        self.org = org
+        self.page_size = page_size
+        self.bank_xor = bank_xor
+        self.line_bits = ilog2(org.line_size)
+        self.col_bits = ilog2(org.row_size_bytes // org.line_size)
+        self.chan_bits = ilog2(org.channels)
+        self.rank_bits = ilog2(org.ranks_per_channel)
+        self.bank_bits = ilog2(org.banks_per_rank)
+        self.row_bits = ilog2(org.rows_per_bank)
+        self.page_line_bits = ilog2(page_size) - self.line_bits
+        if self.page_line_bits < 0:
+            raise MappingError("page smaller than a cache line")
+        if self.col_bits < self.page_line_bits:
+            raise MappingError(
+                "row buffer smaller than a page: bank bits would fall inside "
+                "the page offset and the OS could not color them"
+            )
+        # Bit positions within the line address.
+        self._chan_shift = self.col_bits
+        self._rank_shift = self._chan_shift + self.chan_bits
+        self._bank_shift = self._rank_shift + self.rank_bits
+        self._row_shift = self._bank_shift + self.bank_bits
+        self.total_line_bits = self._row_shift + self.row_bits
+        # Frame-number field layout (frame = line address >> page_line_bits).
+        self._col_hi_bits = self.col_bits - self.page_line_bits
+        self.frames_total = org.capacity_bytes // page_size
+
+    # ------------------------------------------------------------------
+    # Line-address <-> DRAM coordinates.
+    # ------------------------------------------------------------------
+    def decompose_line(self, line_addr: int) -> MemLocation:
+        """Decode a cache-line address into its DRAM coordinate."""
+        if line_addr < 0 or line_addr >> self.total_line_bits:
+            raise MappingError(
+                f"line address {line_addr:#x} outside "
+                f"{self.org.capacity_bytes}-byte memory"
+            )
+        mask = lambda bits: (1 << bits) - 1  # noqa: E731 - local shorthand
+        row = (line_addr >> self._row_shift) & mask(self.row_bits)
+        bank = (line_addr >> self._bank_shift) & mask(self.bank_bits)
+        if self.bank_xor:
+            bank ^= row & mask(self.bank_bits)
+        return MemLocation(
+            channel=(line_addr >> self._chan_shift) & mask(self.chan_bits),
+            rank=(line_addr >> self._rank_shift) & mask(self.rank_bits),
+            bank=bank,
+            row=row,
+            col=line_addr & mask(self.col_bits),
+        )
+
+    def decompose(self, phys_addr: int) -> MemLocation:
+        """Decode a byte address."""
+        return self.decompose_line(phys_addr >> self.line_bits)
+
+    def compose_line(self, loc: MemLocation) -> int:
+        """Inverse of :meth:`decompose_line`."""
+        for name, value, bits in (
+            ("col", loc.col, self.col_bits),
+            ("channel", loc.channel, self.chan_bits),
+            ("rank", loc.rank, self.rank_bits),
+            ("bank", loc.bank, self.bank_bits),
+            ("row", loc.row, self.row_bits),
+        ):
+            if value < 0 or value >> bits:
+                raise MappingError(f"{name}={value} does not fit in {bits} bits")
+        bank = loc.bank
+        if self.bank_xor:
+            # XOR is self-inverse: recover the stored bank bits.
+            bank ^= loc.row & ((1 << self.bank_bits) - 1)
+        return (
+            loc.col
+            | (loc.channel << self._chan_shift)
+            | (loc.rank << self._rank_shift)
+            | (bank << self._bank_shift)
+            | (loc.row << self._row_shift)
+        )
+
+    # ------------------------------------------------------------------
+    # Frame-number <-> colors. The allocator works entirely at this level.
+    # ------------------------------------------------------------------
+    @property
+    def bank_colors(self) -> int:
+        """Number of bank colors (rank x bank), the partitioning unit."""
+        return self.org.banks_per_channel
+
+    @property
+    def frames_per_bin(self) -> int:
+        """Frames available in one (channel, bank color) bin."""
+        return self.frames_total // (self.org.channels * self.bank_colors)
+
+    def frame_fields(self, frame: int) -> tuple:
+        """(channel, bank_color, slot) for a frame number.
+
+        ``slot`` enumerates the frames inside one (channel, color) bin;
+        consecutive slots fill the sub-page column positions of a row before
+        moving to the next row, so sequential allocations within a bin enjoy
+        row-buffer locality.
+        """
+        if frame < 0 or frame >= self.frames_total:
+            raise MappingError(f"frame {frame} out of range")
+        mask = lambda bits: (1 << bits) - 1  # noqa: E731
+        col_hi = frame & mask(self._col_hi_bits)
+        rest = frame >> self._col_hi_bits
+        channel = rest & mask(self.chan_bits)
+        rest >>= self.chan_bits
+        rank = rest & mask(self.rank_bits)
+        rest >>= self.rank_bits
+        bank = rest & mask(self.bank_bits)
+        row = rest >> self.bank_bits
+        color = rank * self.org.banks_per_rank + bank
+        slot = (row << self._col_hi_bits) | col_hi
+        return channel, color, slot
+
+    def compose_frame(self, channel: int, color: int, slot: int) -> int:
+        """Inverse of :meth:`frame_fields`."""
+        if not 0 <= channel < self.org.channels:
+            raise MappingError(f"channel {channel} out of range")
+        if not 0 <= color < self.bank_colors:
+            raise MappingError(f"bank color {color} out of range")
+        if not 0 <= slot < self.frames_per_bin:
+            raise MappingError(f"slot {slot} out of range")
+        rank, bank = divmod(color, self.org.banks_per_rank)
+        col_hi = slot & ((1 << self._col_hi_bits) - 1)
+        row = slot >> self._col_hi_bits
+        frame = col_hi
+        shift = self._col_hi_bits
+        frame |= channel << shift
+        shift += self.chan_bits
+        frame |= rank << shift
+        shift += self.rank_bits
+        frame |= bank << shift
+        shift += self.bank_bits
+        frame |= row << shift
+        return frame
+
+    def frame_channel(self, frame: int) -> int:
+        """Channel a frame lives in."""
+        return self.frame_fields(frame)[0]
+
+    def frame_bank_color(self, frame: int) -> int:
+        """Bank color a frame lives in."""
+        return self.frame_fields(frame)[1]
+
+    def line_in_frame(self, frame: int, line_offset: int) -> int:
+        """Cache-line address of line ``line_offset`` within ``frame``."""
+        if not 0 <= line_offset < (1 << self.page_line_bits):
+            raise MappingError(
+                f"line offset {line_offset} outside a "
+                f"{self.page_size}-byte page"
+            )
+        return (frame << self.page_line_bits) | line_offset
+
+    def frames_in_bin(self, channel: int, color: int) -> Iterator[int]:
+        """All frame numbers of one (channel, color) bin, in slot order."""
+        for slot in range(self.frames_per_bin):
+            yield self.compose_frame(channel, color, slot)

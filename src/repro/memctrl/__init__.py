@@ -1,0 +1,15 @@
+"""Memory controller: per-channel queues, command scheduling, write drain.
+
+The controller translates queued :class:`~repro.memctrl.request.Request`
+objects into legal DRAM command sequences. *Which* request to serve next is
+delegated to a pluggable :class:`~repro.memctrl.schedulers.base.Scheduler`
+(FCFS, FR-FCFS, PAR-BS, ATLAS, TCM); *how* to serve it — precharge/activate/
+CAS sequencing, write drain, refresh — is the controller's job and identical
+under every policy, which is what makes scheduler comparisons fair.
+"""
+
+from .request import Request
+from .controller import ChannelController
+from .schedulers import make_scheduler, Scheduler
+
+__all__ = ["Request", "ChannelController", "make_scheduler", "Scheduler"]

@@ -1,0 +1,372 @@
+"""Per-channel memory controller.
+
+The controller owns the read and write queues for one channel, turns the
+scheduler's request ordering into legal command sequences (precharge /
+activate / CAS), drains writes between watermarks, and keeps refresh on
+schedule. It is event-driven: a decision event issues at most one command,
+then reschedules itself either one command-bus slot later (more work ready)
+or at the earliest cycle anything can become issuable (event skipping) —
+never cycle by cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..config import ControllerConfig
+from ..dram.channel import Channel
+from ..dram.commands import Command, CommandType
+from ..errors import SimulationError
+from .request import Request
+from .schedulers.base import Scheduler
+
+_FAR_FUTURE = 1 << 62
+
+
+class ControllerStats:
+    """Aggregate and per-thread service statistics for one channel."""
+
+    def __init__(self) -> None:
+        self.reads_served = 0
+        self.writes_served = 0
+        self.row_hits = 0
+        self.row_misses = 0
+        self.read_latency_sum = 0
+        self.per_thread_reads: Dict[int, int] = {}
+        self.per_thread_writes: Dict[int, int] = {}
+        self.per_thread_row_hits: Dict[int, int] = {}
+        self.per_thread_latency_sum: Dict[int, int] = {}
+        self.data_bus_busy = 0
+
+    def record_cas(self, request: Request, now: int, row_hit: bool, burst: int) -> None:
+        thread = request.thread_id
+        if request.is_write:
+            self.writes_served += 1
+            self.per_thread_writes[thread] = self.per_thread_writes.get(thread, 0) + 1
+        else:
+            self.reads_served += 1
+            self.per_thread_reads[thread] = self.per_thread_reads.get(thread, 0) + 1
+            latency = now - request.arrival
+            self.read_latency_sum += latency
+            self.per_thread_latency_sum[thread] = (
+                self.per_thread_latency_sum.get(thread, 0) + latency
+            )
+        if row_hit:
+            self.row_hits += 1
+            self.per_thread_row_hits[thread] = (
+                self.per_thread_row_hits.get(thread, 0) + 1
+            )
+        else:
+            self.row_misses += 1
+        self.data_bus_busy += burst
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+
+class ChannelController:
+    """Scheduler-driven command issue for one channel."""
+
+    def __init__(
+        self,
+        channel: Channel,
+        config: ControllerConfig,
+        scheduler: Scheduler,
+        engine,
+    ) -> None:
+        self.channel = channel
+        self.config = config
+        self.scheduler = scheduler
+        self.engine = engine
+        self.read_queue: List[Request] = []
+        self.write_queue: List[Request] = []
+        self._write_drain = False
+        self._next_decision: Optional[int] = None
+        self.stats = ControllerStats()
+        self._listeners: List[object] = []
+        scheduler.attach_controller(self)
+        if config.refresh_enabled:
+            first_due = min(r.next_refresh_due for r in channel.ranks)
+            self._request_decision(first_due)
+
+    # ------------------------------------------------------------------
+    # External surface.
+    # ------------------------------------------------------------------
+    def add_listener(self, listener: object) -> None:
+        """Register a profiling listener (on_arrival / on_cas hooks)."""
+        self._listeners.append(listener)
+
+    def enqueue(self, request: Request, now: int) -> None:
+        """Accept a request into the appropriate queue at cycle ``now``."""
+        if request.loc.channel != self.channel.channel_id:
+            raise SimulationError(
+                f"request for channel {request.loc.channel} sent to "
+                f"controller {self.channel.channel_id}"
+            )
+        queue = self.write_queue if request.is_write else self.read_queue
+        queue.append(request)
+        self.scheduler.on_arrival(request, now)
+        for listener in self._listeners:
+            listener.on_arrival(request, now)
+        self._request_decision(now)
+
+    @property
+    def pending_requests(self) -> int:
+        """Requests currently queued (both directions)."""
+        return len(self.read_queue) + len(self.write_queue)
+
+    # ------------------------------------------------------------------
+    # Decision scheduling (stale-event pattern on the shared engine).
+    # ------------------------------------------------------------------
+    def _request_decision(self, cycle: int) -> None:
+        if self._next_decision is not None and self._next_decision <= cycle:
+            return
+        self._next_decision = cycle
+        self.engine.schedule(cycle, self._on_decision_event)
+
+    def _on_decision_event(self, now: int) -> None:
+        if self._next_decision != now:
+            return  # superseded by an earlier decision request
+        self._next_decision = None
+        self._decide(now)
+
+    # ------------------------------------------------------------------
+    # The decision: issue at most one command at `now`.
+    # ------------------------------------------------------------------
+    def _decide(self, now: int) -> None:
+        self._update_drain_mode()
+        issued, next_event = self._try_issue(now)
+        if issued:
+            refresh_pending = any(
+                r.refresh_pending(now) for r in self.channel.ranks
+            )
+            more_work = self.pending_requests or refresh_pending
+            if not more_work and self.config.page_policy == "closed":
+                # Stay awake to close rows left open by the last requests.
+                more_work = any(
+                    rank.open_row_count() for rank in self.channel.ranks
+                )
+            if more_work:
+                self._request_decision(now + self.channel.clock_ratio)
+            else:
+                self._schedule_refresh_wake()
+        elif next_event < _FAR_FUTURE:
+            self._request_decision(next_event)
+        else:
+            self._schedule_refresh_wake()
+
+    def _schedule_refresh_wake(self) -> None:
+        if not self.config.refresh_enabled:
+            return
+        due = min(r.next_refresh_due for r in self.channel.ranks)
+        self._request_decision(due)
+
+    def _update_drain_mode(self) -> None:
+        writes = len(self.write_queue)
+        if not self._write_drain and writes >= self.config.write_high_watermark:
+            self._write_drain = True
+        elif self._write_drain and (
+            writes <= self.config.write_low_watermark or not self.write_queue
+        ):
+            self._write_drain = False
+
+    def _try_issue(self, now: int) -> Tuple[bool, int]:
+        """Issue the best legal command at ``now``; returns (issued, next_t)."""
+        next_event = _FAR_FUTURE
+        # 1. Refresh has absolute priority on its rank.
+        refresh_ranks = [
+            r for r in self.channel.ranks if r.refresh_pending(now)
+        ]
+        for rank in refresh_ranks:
+            issued, ready = self._progress_refresh(rank, now)
+            if issued:
+                return True, _FAR_FUTURE
+            next_event = min(next_event, ready)
+        blocked_ranks = {r.rank_id for r in refresh_ranks}
+        # 2. Pick the active queue.
+        if self._write_drain:
+            active, is_write = self.write_queue, True
+        elif self.read_queue:
+            active, is_write = self.read_queue, False
+        elif self.write_queue:
+            active, is_write = self.write_queue, True
+        else:
+            if self.config.page_policy == "closed":
+                issued, ready = self._close_stale_rows(now, blocked_ranks)
+                if issued:
+                    return True, _FAR_FUTURE
+                next_event = min(next_event, ready)
+            return False, next_event
+        # 3. Best request per bank under the scheduler's ordering. This is
+        # the simulator's hottest loop: thread-level schedulers expose a
+        # per-thread priority prefix so key() need not run per request.
+        best_per_bank: Dict[Tuple, Tuple] = {}
+        ranks = self.channel.ranks
+        scheduler = self.scheduler
+        prefixes: Dict[int, Optional[Tuple]] = {}
+        for request in active:
+            rank_id = request.rank
+            if rank_id in blocked_ranks:
+                continue
+            bank = ranks[rank_id].banks[request.bank]
+            row_hit = bank.open_row == request.row
+            if is_write:
+                # Writes drain row-hit-first regardless of policy.
+                key = (0 if row_hit else 1, request.arrival, request.req_id)
+            else:
+                thread_id = request.thread_id
+                if thread_id in prefixes:
+                    prefix = prefixes[thread_id]
+                else:
+                    prefix = scheduler.thread_priority(thread_id, now)
+                    prefixes[thread_id] = prefix
+                if prefix is None:
+                    key = scheduler.key(request, row_hit, now)
+                else:
+                    key = prefix + (
+                        0 if row_hit else 1,
+                        request.arrival,
+                        request.req_id,
+                    )
+            bank_key = (rank_id, request.bank)
+            slot = best_per_bank.get(bank_key)
+            if slot is None or key < slot[0]:
+                best_per_bank[bank_key] = (key, request, row_hit)
+        # 4. Among per-bank candidates, find the best one issuable now.
+        best_choice = None
+        for key, request, row_hit in best_per_bank.values():
+            command, ready = self._next_command_for(request, row_hit, now)
+            if ready <= now:
+                if best_choice is None or key < best_choice[0]:
+                    best_choice = (key, request, command, row_hit)
+            else:
+                next_event = min(next_event, ready)
+        if best_choice is None:
+            if self.config.page_policy == "closed":
+                issued, ready = self._close_stale_rows(now, blocked_ranks)
+                if issued:
+                    return True, _FAR_FUTURE
+                next_event = min(next_event, ready)
+            return False, next_event
+        _key, request, command, _row_hit = best_choice
+        self._issue_command(request, command, now, is_write)
+        return True, _FAR_FUTURE
+
+    def _close_stale_rows(self, now: int, blocked_ranks) -> Tuple[bool, int]:
+        """Closed-page policy: precharge open banks no queued request wants.
+
+        Real work always takes priority — this only runs when nothing else
+        was issuable this cycle.
+        """
+        wanted: Dict[Tuple, set] = {}
+        for request in self.read_queue:
+            wanted.setdefault(request.bank_key, set()).add(request.loc.row)
+        for request in self.write_queue:
+            wanted.setdefault(request.bank_key, set()).add(request.loc.row)
+        ready = _FAR_FUTURE
+        for rank in self.channel.ranks:
+            if rank.rank_id in blocked_ranks:
+                continue
+            for bank_id, open_row in self.channel.open_banks(rank.rank_id):
+                key = (self.channel.channel_id, rank.rank_id, bank_id)
+                if open_row in wanted.get(key, ()):  # still useful
+                    continue
+                t = self.channel.earliest_precharge(rank.rank_id, bank_id)
+                if t <= now:
+                    self.channel.issue(
+                        Command(
+                            cycle=now,
+                            kind=CommandType.PRECHARGE,
+                            channel=self.channel.channel_id,
+                            rank=rank.rank_id,
+                            bank=bank_id,
+                        )
+                    )
+                    return True, _FAR_FUTURE
+                ready = min(ready, t)
+        return False, ready
+
+    def _next_command_for(
+        self, request: Request, row_hit: bool, now: int
+    ) -> Tuple[CommandType, int]:
+        rank, bank_id = request.rank, request.bank
+        bank = self.channel.ranks[rank].banks[bank_id]
+        if row_hit:
+            ready = self.channel.earliest_cas(rank, bank_id, request.is_write)
+            kind = CommandType.WRITE if request.is_write else CommandType.READ
+            return kind, ready
+        if bank.open_row is None:
+            return CommandType.ACTIVATE, self.channel.earliest_activate(
+                rank, bank_id
+            )
+        return CommandType.PRECHARGE, self.channel.earliest_precharge(
+            rank, bank_id
+        )
+
+    def _issue_command(
+        self, request: Request, kind: CommandType, now: int, is_write: bool
+    ) -> None:
+        command = Command(
+            cycle=now,
+            kind=kind,
+            channel=self.channel.channel_id,
+            rank=request.rank,
+            bank=request.bank,
+            row=request.row if kind is CommandType.ACTIVATE else -1,
+            thread_id=request.thread_id,
+        )
+        result = self.channel.issue(command)
+        if kind is CommandType.ACTIVATE:
+            request.needed_activate = True
+            return
+        if kind is CommandType.PRECHARGE:
+            return
+        # CAS: the request is served.
+        queue = self.write_queue if is_write else self.read_queue
+        queue.remove(request)
+        request.served_at = now
+        row_hit = not request.needed_activate
+        self.stats.record_cas(request, now, row_hit, self.channel.timings.tBURST)
+        self.scheduler.on_served(request, now)
+        for listener in self._listeners:
+            listener.on_cas(request, now, row_hit)
+        if not is_write and request.on_complete is not None:
+            self.engine.schedule(result, request.on_complete)
+
+    # ------------------------------------------------------------------
+    # Refresh sequencing: precharge open banks, then REF.
+    # ------------------------------------------------------------------
+    def _progress_refresh(self, rank, now: int) -> Tuple[bool, int]:
+        open_banks = self.channel.open_banks(rank.rank_id)
+        if open_banks:
+            ready = _FAR_FUTURE
+            for bank_id, _row in open_banks:
+                t = self.channel.earliest_precharge(rank.rank_id, bank_id)
+                if t <= now:
+                    self.channel.issue(
+                        Command(
+                            cycle=now,
+                            kind=CommandType.PRECHARGE,
+                            channel=self.channel.channel_id,
+                            rank=rank.rank_id,
+                            bank=bank_id,
+                        )
+                    )
+                    return True, _FAR_FUTURE
+                ready = min(ready, t)
+            return False, ready
+        ready = self.channel.earliest_refresh(rank.rank_id)
+        if ready <= now:
+            self.channel.issue(
+                Command(
+                    cycle=now,
+                    kind=CommandType.REFRESH,
+                    channel=self.channel.channel_id,
+                    rank=rank.rank_id,
+                    bank=-1,
+                )
+            )
+            return True, _FAR_FUTURE
+        return False, ready

@@ -1,0 +1,75 @@
+"""Memory request objects flowing between cores and the controller."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional
+
+from ..mapping import MemLocation
+
+_request_ids = itertools.count()
+
+
+class Request:
+    """One cache-line DRAM access.
+
+    ``on_complete`` (reads only) is invoked with the cycle at which the last
+    data beat arrives. ``is_migration`` marks OS page-copy traffic so that it
+    is excluded from per-thread performance accounting while still occupying
+    real bank and bus time.
+    """
+
+    __slots__ = (
+        "req_id",
+        "thread_id",
+        "is_write",
+        "line_addr",
+        "loc",
+        "rank",
+        "bank",
+        "row",
+        "arrival",
+        "on_complete",
+        "is_migration",
+        "needed_activate",
+        "served_at",
+    )
+
+    def __init__(
+        self,
+        thread_id: int,
+        is_write: bool,
+        line_addr: int,
+        loc: MemLocation,
+        arrival: int,
+        on_complete: Optional[Callable[[int], None]] = None,
+        is_migration: bool = False,
+    ) -> None:
+        self.req_id = next(_request_ids)
+        self.thread_id = thread_id
+        self.is_write = is_write
+        self.line_addr = line_addr
+        self.loc = loc
+        # Flattened coordinates: the controller's scan loop is the hottest
+        # code in the simulator, and attribute chains through `loc` cost.
+        self.rank = loc.rank
+        self.bank = loc.bank
+        self.row = loc.row
+        self.arrival = arrival
+        self.on_complete = on_complete
+        self.is_migration = is_migration
+        self.needed_activate = False  # set if an ACT was issued for it
+        self.served_at: Optional[int] = None
+
+    @property
+    def bank_key(self) -> tuple:
+        """(channel, rank, bank) the request targets."""
+        return self.loc.bank_key
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "W" if self.is_write else "R"
+        return (
+            f"Request#{self.req_id}({kind} t{self.thread_id} "
+            f"ch{self.loc.channel}/rk{self.loc.rank}/bk{self.loc.bank}/"
+            f"row{self.loc.row} @{self.arrival})"
+        )

@@ -1,0 +1,56 @@
+"""Request scheduler registry.
+
+Schedulers are registered by name so configurations and experiment sweeps
+can select them with a string. All five policies the paper's evaluation
+context uses are provided.
+"""
+
+from ...errors import ConfigError
+from .base import Scheduler, ProfileSnapshot, ThreadProfile
+from .fcfs import FCFSScheduler
+from .frfcfs import FRFCFSScheduler
+from .parbs import PARBSScheduler
+from .atlas import ATLASScheduler
+from .tcm import TCMScheduler
+from .bliss import BLISSScheduler
+
+_REGISTRY = {
+    "fcfs": FCFSScheduler,
+    "frfcfs": FRFCFSScheduler,
+    "parbs": PARBSScheduler,
+    "atlas": ATLASScheduler,
+    "tcm": TCMScheduler,
+    "bliss": BLISSScheduler,
+}
+
+
+def make_scheduler(name: str, num_threads: int, **params: object) -> Scheduler:
+    """Instantiate a scheduler by registry name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigError(
+            f"unknown scheduler {name!r}; known: {known}"
+        ) from None
+    return cls(num_threads=num_threads, **params)
+
+
+def scheduler_names() -> list:
+    """All registered scheduler names."""
+    return sorted(_REGISTRY)
+
+
+__all__ = [
+    "Scheduler",
+    "ProfileSnapshot",
+    "ThreadProfile",
+    "make_scheduler",
+    "scheduler_names",
+    "FCFSScheduler",
+    "FRFCFSScheduler",
+    "PARBSScheduler",
+    "ATLASScheduler",
+    "TCMScheduler",
+    "BLISSScheduler",
+]

@@ -1,0 +1,80 @@
+"""BLISS: blacklisting memory scheduler (Subramanian et al., ICCD 2014).
+
+A deliberately simple fairness mechanism: count how many requests are
+served consecutively from the same thread; when the streak reaches
+``blacklist_threshold``, blacklist that thread. Blacklisted threads lose
+priority to everyone else (within each class, row hits then age — i.e.
+FR-FCFS). The blacklist is cleared every ``clearing_interval`` cycles.
+
+Included as context for the scheduling axis: it shows how much of TCM's
+fairness a near-zero-state mechanism recovers on this substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Set, Tuple
+
+from ...errors import ConfigError
+from ..request import Request
+from .base import Scheduler
+
+
+class BLISSScheduler(Scheduler):
+    """Streak-based blacklisting over an FR-FCFS core."""
+
+    name = "bliss"
+
+    def __init__(
+        self,
+        num_threads: int,
+        blacklist_threshold: int = 4,
+        clearing_interval: int = 10_000,
+    ) -> None:
+        super().__init__(num_threads)
+        if blacklist_threshold < 1:
+            raise ConfigError("blacklist_threshold must be >= 1")
+        if clearing_interval < 1:
+            raise ConfigError("clearing_interval must be >= 1")
+        self.blacklist_threshold = blacklist_threshold
+        self.clearing_interval = clearing_interval
+        self._blacklist: Set[int] = set()
+        self._streak_thread = -1
+        self._streak_length = 0
+        self._last_clear_slot = 0
+        self.stat_blacklistings = 0
+
+    # ------------------------------------------------------------------
+    def key(self, request: Request, row_hit: bool, now: int) -> Tuple:
+        self._maybe_clear(now)
+        listed = 1 if request.thread_id in self._blacklist else 0
+        return (listed, 0 if row_hit else 1, request.arrival, request.req_id)
+
+    def thread_priority(self, thread_id: int, now: int) -> Tuple:
+        self._maybe_clear(now)
+        return (1 if thread_id in self._blacklist else 0,)
+
+    def on_served(self, request: Request, now: int) -> None:
+        if request.is_migration:
+            return
+        self._maybe_clear(now)
+        if request.thread_id == self._streak_thread:
+            self._streak_length += 1
+            if self._streak_length >= self.blacklist_threshold:
+                if request.thread_id not in self._blacklist:
+                    self._blacklist.add(request.thread_id)
+                    self.stat_blacklistings += 1
+                self._streak_length = 0
+        else:
+            self._streak_thread = request.thread_id
+            self._streak_length = 1
+
+    def _maybe_clear(self, now: int) -> None:
+        slot = now // self.clearing_interval
+        if slot != self._last_clear_slot:
+            self._last_clear_slot = slot
+            self._blacklist.clear()
+
+    # ------------------------------------------------------------------
+    def blacklisted(self) -> Set[int]:
+        """Currently blacklisted thread ids (for tests/reports)."""
+        return set(self._blacklist)

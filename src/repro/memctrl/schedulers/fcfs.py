@@ -1,0 +1,22 @@
+"""Strict first-come-first-served scheduling.
+
+The weakest baseline: arrival order only, no row-buffer awareness. Included
+because the motivation sections of this paper family measure how much
+row-hit-first reordering (FR-FCFS) buys over it.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..request import Request
+from .base import Scheduler
+
+
+class FCFSScheduler(Scheduler):
+    """Serve the oldest request, period."""
+
+    name = "fcfs"
+
+    def key(self, request: Request, row_hit: bool, now: int) -> Tuple:
+        return (request.arrival, request.req_id)

@@ -1,0 +1,26 @@
+"""FR-FCFS: first-ready, first-come-first-served (Rixner et al., ISCA 2000).
+
+The standard high-throughput baseline: requests that hit an open row go
+first (they need only a CAS), ties broken by age. Thread-oblivious, which is
+exactly why it is unfair under multiprogramming — memory-intensive,
+high-locality threads capture banks.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..request import Request
+from .base import Scheduler
+
+
+class FRFCFSScheduler(Scheduler):
+    """Row hits first, then oldest first."""
+
+    name = "frfcfs"
+
+    def key(self, request: Request, row_hit: bool, now: int) -> Tuple:
+        return (0 if row_hit else 1, request.arrival, request.req_id)
+
+    def thread_priority(self, thread_id: int, now: int) -> Tuple:
+        return ()  # thread-oblivious: row hit then age, for everyone

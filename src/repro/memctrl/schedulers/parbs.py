@@ -1,0 +1,68 @@
+"""PAR-BS: parallelism-aware batch scheduling (Mutlu & Moscibroda, ISCA 2008).
+
+Requests are grouped into batches: when the current batch drains, up to
+``marking_cap`` oldest requests per (thread, bank) are marked. Marked
+requests strictly outrank unmarked ones, which bounds starvation. Within a
+batch, threads are ranked shortest-job-first by their maximum per-bank load
+(the "max-total" rule), preserving each thread's bank-level parallelism.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Set, Tuple
+
+from ..request import Request
+from .base import Scheduler
+
+
+class PARBSScheduler(Scheduler):
+    """Batch-based scheduler with SJF thread ranking inside a batch."""
+
+    name = "parbs"
+
+    def __init__(self, num_threads: int, marking_cap: int = 5) -> None:
+        super().__init__(num_threads)
+        self.marking_cap = marking_cap
+        self._marked: Set[int] = set()  # request ids in the current batch
+        self._thread_rank: Dict[int, int] = {}
+        self.stat_batches = 0
+
+    # ------------------------------------------------------------------
+    def key(self, request: Request, row_hit: bool, now: int) -> Tuple:
+        if not self._marked:
+            self._form_batch()
+        marked = 0 if request.req_id in self._marked else 1
+        rank = self._thread_rank.get(request.thread_id, self.num_threads)
+        return (marked, rank, 0 if row_hit else 1, request.arrival, request.req_id)
+
+    def on_served(self, request: Request, now: int) -> None:
+        self._marked.discard(request.req_id)
+
+    # ------------------------------------------------------------------
+    def _form_batch(self) -> None:
+        """Mark the oldest requests per (thread, bank) and rank threads."""
+        per_thread_bank: Dict[Tuple, list] = defaultdict(list)
+        for request in self.pending_reads():
+            per_thread_bank[(request.thread_id, request.bank_key)].append(request)
+        if not per_thread_bank:
+            return
+        bank_load: Dict[int, Dict[Tuple, int]] = defaultdict(dict)
+        for (thread_id, bank), requests in per_thread_bank.items():
+            requests.sort(key=lambda r: (r.arrival, r.req_id))
+            chosen = requests[: self.marking_cap]
+            for request in chosen:
+                self._marked.add(request.req_id)
+            bank_load[thread_id][bank] = len(chosen)
+        # Max-total ranking: fewer max-per-bank marked requests => served
+        # earlier (shortest job first), ties by total then thread id.
+        order = sorted(
+            bank_load,
+            key=lambda tid: (
+                max(bank_load[tid].values()),
+                sum(bank_load[tid].values()),
+                tid,
+            ),
+        )
+        self._thread_rank = {tid: rank for rank, tid in enumerate(order)}
+        self.stat_batches += 1

@@ -1,0 +1,161 @@
+"""TCM: thread cluster memory scheduling (Kim et al., MICRO 2010).
+
+Each quantum, threads are split into a *latency-sensitive* cluster (the
+lowest-MPKI threads whose summed bandwidth stays under a threshold fraction
+of total bandwidth) and a *bandwidth-sensitive* cluster (everyone else).
+Latency-cluster requests strictly outrank bandwidth-cluster requests;
+within the latency cluster lower MPKI wins; within the bandwidth cluster
+priorities are periodically shuffled, biased by *niceness* — threads with
+high bank-level parallelism are nice (they are hurt most by losing priority
+and hurt others least when holding it), threads with high row-buffer
+locality are not.
+
+The paper's insertion shuffle is approximated by a deterministic weighted
+rotation: a thread whose niceness rank is ``r`` (0 = nicest) holds the top
+priority slot ``k - r`` out of every ``k(k+1)/2`` shuffle intervals. A plain
+equal-share rotation is available as ``shuffle_mode="rotate"`` for the
+ablation bench.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ...errors import ConfigError
+from ..request import Request
+from .base import ProfileSnapshot, Scheduler
+
+
+class TCMScheduler(Scheduler):
+    """Two-cluster scheduler with shuffled bandwidth-cluster priorities."""
+
+    name = "tcm"
+
+    def __init__(
+        self,
+        num_threads: int,
+        quantum_cycles: int = 25_000,
+        cluster_fraction: float = 0.10,
+        shuffle_interval: int = 800,
+        shuffle_mode: str = "insertion",
+    ) -> None:
+        super().__init__(num_threads)
+        if not 0.0 <= cluster_fraction <= 1.0:
+            raise ConfigError("cluster_fraction must be in [0, 1]")
+        if shuffle_mode not in ("insertion", "rotate"):
+            raise ConfigError("shuffle_mode must be 'insertion' or 'rotate'")
+        self.quantum_cycles = quantum_cycles
+        self.cluster_fraction = cluster_fraction
+        self.shuffle_interval = shuffle_interval
+        self.shuffle_mode = shuffle_mode
+        self._latency_rank: Dict[int, int] = {}
+        self._bw_threads: List[int] = []  # niceness-descending
+        self._bw_rank: Dict[int, int] = {}
+        self._shuffle_schedule: List[int] = []
+        self._last_shuffle_slot = -1
+        self.stat_quanta = 0
+
+    # ------------------------------------------------------------------
+    def key(self, request: Request, row_hit: bool, now: int) -> Tuple:
+        cluster, rank = self.thread_priority(request.thread_id, now)
+        return (cluster, rank, 0 if row_hit else 1, request.arrival, request.req_id)
+
+    def thread_priority(self, thread_id: int, now: int) -> Tuple:
+        self._maybe_shuffle(now)
+        if thread_id in self._latency_rank:
+            return (0, self._latency_rank[thread_id])
+        return (1, self._bw_rank.get(thread_id, self.num_threads))
+
+    # ------------------------------------------------------------------
+    def on_quantum(self, snapshot: ProfileSnapshot) -> None:
+        profiles = [snapshot.profile(t) for t in range(self.num_threads)]
+        total_bw = sum(p.bandwidth for p in profiles)
+        budget = self.cluster_fraction * total_bw
+        by_mpki = sorted(profiles, key=lambda p: (p.mpki, p.thread_id))
+        latency: List[int] = []
+        used = 0.0
+        for profile in by_mpki:
+            # The latency cluster may be empty: when every thread is
+            # bandwidth-heavy, giving any of them strict priority would
+            # starve the rest (the cluster threshold exists precisely to
+            # cap how much bandwidth can bypass the shuffle).
+            if used + profile.bandwidth <= budget:
+                latency.append(profile.thread_id)
+                used += profile.bandwidth
+            else:
+                break
+        latency_set = set(latency)
+        self._latency_rank = {tid: rank for rank, tid in enumerate(latency)}
+        bandwidth = [p for p in by_mpki if p.thread_id not in latency_set]
+        # Niceness: high BLP => nicer, high row-buffer locality => less nice.
+        blp_order = sorted(bandwidth, key=lambda p: (p.blp, p.thread_id))
+        rbh_order = sorted(bandwidth, key=lambda p: (p.rbh, p.thread_id))
+        blp_rank = {p.thread_id: i for i, p in enumerate(blp_order)}
+        rbh_rank = {p.thread_id: i for i, p in enumerate(rbh_order)}
+        niceness = {
+            p.thread_id: blp_rank[p.thread_id] - rbh_rank[p.thread_id]
+            for p in bandwidth
+        }
+        self._bw_threads = sorted(
+            (p.thread_id for p in bandwidth),
+            key=lambda tid: (-niceness[tid], tid),
+        )
+        self._rebuild_shuffle_schedule()
+        self._apply_shuffle(0)
+        self._last_shuffle_slot = -1
+        self.stat_quanta += 1
+
+    # ------------------------------------------------------------------
+    def _rebuild_shuffle_schedule(self) -> None:
+        threads = self._bw_threads
+        k = len(threads)
+        if self.shuffle_mode == "rotate" or k == 0:
+            self._shuffle_schedule = list(range(k))
+            return
+        # Weighted rotation: niceness rank r holds the top slot k - r times.
+        schedule: List[int] = []
+        for rank in range(k):
+            schedule.extend([rank] * (k - rank))
+        self._shuffle_schedule = schedule
+
+    def _maybe_shuffle(self, now: int) -> None:
+        if not self._bw_threads or self.shuffle_interval <= 0:
+            return
+        slot = now // self.shuffle_interval
+        if slot == self._last_shuffle_slot:
+            return
+        self._last_shuffle_slot = slot
+        self._apply_shuffle(slot)
+
+    def _apply_shuffle(self, slot: int) -> None:
+        threads = self._bw_threads
+        k = len(threads)
+        if k == 0:
+            self._bw_rank = {}
+            return
+        if self.shuffle_mode == "rotate":
+            top_index = slot % k
+        else:
+            schedule = self._shuffle_schedule
+            top_index = schedule[slot % len(schedule)]
+        remaining = [tid for i, tid in enumerate(threads) if i != top_index]
+        # The non-top positions rotate too, so every thread cycles through
+        # the low ranks — only the *top* slot is niceness-weighted. Without
+        # this, the least nice thread would sit at the bottom almost
+        # permanently and starve.
+        if remaining:
+            offset = slot % len(remaining)
+            remaining = remaining[offset:] + remaining[:offset]
+        order = [threads[top_index]] + remaining
+        self._bw_rank = {tid: rank for rank, tid in enumerate(order)}
+
+    # ------------------------------------------------------------------
+    # Introspection for tests and reports.
+    # ------------------------------------------------------------------
+    def latency_cluster(self) -> List[int]:
+        """Thread ids currently in the latency-sensitive cluster."""
+        return sorted(self._latency_rank)
+
+    def bandwidth_cluster(self) -> List[int]:
+        """Thread ids currently in the bandwidth-sensitive cluster."""
+        return list(self._bw_threads)

@@ -1,0 +1,19 @@
+"""System-level performance and fairness metrics."""
+
+from .metrics import (
+    harmonic_speedup,
+    max_slowdown,
+    slowdowns,
+    summarize,
+    MetricSummary,
+    weighted_speedup,
+)
+
+__all__ = [
+    "weighted_speedup",
+    "harmonic_speedup",
+    "max_slowdown",
+    "slowdowns",
+    "summarize",
+    "MetricSummary",
+]

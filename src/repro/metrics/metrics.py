@@ -1,0 +1,92 @@
+"""The three metrics the paper reports.
+
+* **Weighted speedup** (system throughput): sum over threads of
+  ``IPC_shared / IPC_alone``.
+* **Maximum slowdown** (unfairness): max over threads of
+  ``IPC_alone / IPC_shared`` — lower is fairer. "Improving fairness by X%"
+  in the abstract means reducing maximum slowdown by X%.
+* **Harmonic speedup** (balance of throughput and fairness): the harmonic
+  mean of per-thread speedups times the thread count, i.e.
+  ``N / sum(IPC_alone / IPC_shared)``.
+
+All functions take parallel per-thread mappings of alone-run and shared-run
+IPCs keyed by thread id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+
+def _check(alone: Mapping[int, float], shared: Mapping[int, float]) -> None:
+    if not alone:
+        raise ValueError("no threads to compute metrics over")
+    if set(alone) != set(shared):
+        raise ValueError(
+            f"thread sets differ: {sorted(alone)} vs {sorted(shared)}"
+        )
+    for thread_id, ipc in alone.items():
+        if ipc <= 0:
+            raise ValueError(f"thread {thread_id}: alone IPC must be positive")
+    for thread_id, ipc in shared.items():
+        if ipc <= 0:
+            raise ValueError(f"thread {thread_id}: shared IPC must be positive")
+
+
+def slowdowns(
+    alone: Mapping[int, float], shared: Mapping[int, float]
+) -> Dict[int, float]:
+    """Per-thread slowdown: alone IPC over shared IPC (>= 1 normally)."""
+    _check(alone, shared)
+    return {t: alone[t] / shared[t] for t in alone}
+
+
+def weighted_speedup(
+    alone: Mapping[int, float], shared: Mapping[int, float]
+) -> float:
+    """System throughput: sum of per-thread speedups."""
+    _check(alone, shared)
+    return sum(shared[t] / alone[t] for t in alone)
+
+
+def max_slowdown(
+    alone: Mapping[int, float], shared: Mapping[int, float]
+) -> float:
+    """Unfairness: the worst per-thread slowdown (lower is fairer)."""
+    return max(slowdowns(alone, shared).values())
+
+
+def harmonic_speedup(
+    alone: Mapping[int, float], shared: Mapping[int, float]
+) -> float:
+    """Harmonic mean of speedups scaled by thread count."""
+    downs = slowdowns(alone, shared)
+    return len(downs) / sum(downs.values())
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """All three metrics for one run."""
+
+    weighted_speedup: float
+    harmonic_speedup: float
+    max_slowdown: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WS={self.weighted_speedup:.3f} "
+            f"HS={self.harmonic_speedup:.3f} "
+            f"MS={self.max_slowdown:.3f}"
+        )
+
+
+def summarize(
+    alone: Mapping[int, float], shared: Mapping[int, float]
+) -> MetricSummary:
+    """Compute every headline metric at once."""
+    return MetricSummary(
+        weighted_speedup=weighted_speedup(alone, shared),
+        harmonic_speedup=harmonic_speedup(alone, shared),
+        max_slowdown=max_slowdown(alone, shared),
+    )

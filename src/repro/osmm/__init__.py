@@ -1,0 +1,12 @@
+"""OS memory management: page-coloring allocator, page tables, migration."""
+
+from .allocator import ColorAwareAllocator
+from .page_table import PageTable
+from .migration import MigrationEngine, MigrationPlan
+
+__all__ = [
+    "ColorAwareAllocator",
+    "PageTable",
+    "MigrationEngine",
+    "MigrationPlan",
+]

@@ -1,0 +1,91 @@
+"""Per-thread page table with first-touch allocation and hotness tracking.
+
+Translation happens on every memory access, so this is deliberately a thin
+dict wrapper. Access counts per page feed the migration engine's choice of
+which mis-colored pages are worth moving.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from ..errors import AllocationError
+from ..mapping import AddressMap
+from .allocator import ColorAwareAllocator
+
+
+class PageTable:
+    """Virtual-to-physical mapping for one thread."""
+
+    def __init__(
+        self,
+        thread_id: int,
+        allocator: ColorAwareAllocator,
+        address_map: AddressMap,
+    ) -> None:
+        self.thread_id = thread_id
+        self.allocator = allocator
+        self.address_map = address_map
+        self._vpage_to_frame: Dict[int, int] = {}
+        self._frame_to_vpage: Dict[int, int] = {}
+        self._access_counts: Dict[int, int] = {}
+        self._page_line_bits = address_map.page_line_bits
+        self.stat_faults = 0
+
+    # ------------------------------------------------------------------
+    def translate_line(self, virtual_line: int) -> int:
+        """Translate a virtual cache-line address, faulting in the page.
+
+        Returns the physical cache-line address. First touch allocates a
+        frame within the thread's current color/channel constraints.
+        """
+        vpage = virtual_line >> self._page_line_bits
+        frame = self._vpage_to_frame.get(vpage)
+        if frame is None:
+            frame = self.allocator.allocate(self.thread_id)
+            self._vpage_to_frame[vpage] = frame
+            self._frame_to_vpage[frame] = vpage
+            self.stat_faults += 1
+        self._access_counts[vpage] = self._access_counts.get(vpage, 0) + 1
+        offset = virtual_line & ((1 << self._page_line_bits) - 1)
+        return self.address_map.line_in_frame(frame, offset)
+
+    # ------------------------------------------------------------------
+    def remap(self, vpage: int, new_frame: int) -> int:
+        """Point ``vpage`` at ``new_frame``; returns the old frame.
+
+        The caller owns freeing the old frame (the migration engine does it
+        after modelling the copy traffic).
+        """
+        old_frame = self._vpage_to_frame.get(vpage)
+        if old_frame is None:
+            raise AllocationError(
+                f"thread {self.thread_id} has no mapping for vpage {vpage}"
+            )
+        if new_frame in self._frame_to_vpage:
+            raise AllocationError(f"frame {new_frame} already mapped")
+        del self._frame_to_vpage[old_frame]
+        self._vpage_to_frame[vpage] = new_frame
+        self._frame_to_vpage[new_frame] = vpage
+        return old_frame
+
+    def mapped_pages(self) -> Iterator[Tuple[int, int]]:
+        """All (vpage, frame) pairs."""
+        return iter(self._vpage_to_frame.items())
+
+    def frame_of(self, vpage: int) -> int:
+        """Frame currently backing ``vpage``."""
+        return self._vpage_to_frame[vpage]
+
+    def access_count(self, vpage: int) -> int:
+        """Accesses recorded for ``vpage`` since the last reset."""
+        return self._access_counts.get(vpage, 0)
+
+    def reset_access_counts(self) -> None:
+        """Start a fresh hotness window (called at each epoch boundary)."""
+        self._access_counts.clear()
+
+    @property
+    def resident_pages(self) -> int:
+        """Number of mapped pages."""
+        return len(self._vpage_to_frame)

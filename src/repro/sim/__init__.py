@@ -1,0 +1,14 @@
+"""Simulation wiring: event engine, system builder, experiment runner."""
+
+from .engine import Engine
+from .system import System, SystemResult
+from .runner import Runner, RunResult, WorkloadRunMetrics
+
+__all__ = [
+    "Engine",
+    "System",
+    "SystemResult",
+    "Runner",
+    "RunResult",
+    "WorkloadRunMetrics",
+]

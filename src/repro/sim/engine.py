@@ -1,0 +1,79 @@
+"""Discrete-event engine.
+
+A single global agenda of (cycle, callback) events ordered by time, with
+stable FIFO ordering among same-cycle events. Every component — cores,
+controllers, the epoch manager — advances exclusively through this agenda,
+which is what allows the simulator to skip dead time instead of ticking
+every cycle.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+EventCallback = Callable[[int], None]
+
+
+class Engine:
+    """Minimal but strict discrete-event loop."""
+
+    def __init__(self, horizon: Optional[int] = None) -> None:
+        self.horizon = horizon
+        self._agenda: List[Tuple[int, int, EventCallback]] = []
+        self._sequence = itertools.count()
+        self._now = 0
+        self._running = False
+        self.stat_events = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulated cycle."""
+        return self._now
+
+    def schedule(self, cycle: int, callback: EventCallback) -> None:
+        """Run ``callback(cycle)`` when simulated time reaches ``cycle``.
+
+        Scheduling in the past is a simulator bug and raises immediately —
+        silent time travel produces unexplainable results.
+        """
+        if cycle < self._now:
+            raise SimulationError(
+                f"event scheduled at {cycle}, before current time {self._now}"
+            )
+        heapq.heappush(self._agenda, (cycle, next(self._sequence), callback))
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Drain the agenda; returns the final simulated cycle.
+
+        ``until`` (or the constructor ``horizon``) bounds the run: events at
+        or beyond the bound stay in the agenda and time stops at the bound.
+        """
+        if self._running:
+            raise SimulationError("engine re-entered")
+        bound = until if until is not None else self.horizon
+        self._running = True
+        try:
+            agenda = self._agenda
+            while agenda:
+                cycle = agenda[0][0]
+                if bound is not None and cycle >= bound:
+                    self._now = bound
+                    break
+                cycle, _seq, callback = heapq.heappop(agenda)
+                self._now = cycle
+                callback(cycle)
+                self.stat_events += 1
+            else:
+                if bound is not None:
+                    self._now = bound
+        finally:
+            self._running = False
+        return self._now
+
+    def pending_events(self) -> int:
+        """Events still in the agenda (cheap introspection for tests)."""
+        return len(self._agenda)

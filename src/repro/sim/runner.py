@@ -1,0 +1,222 @@
+"""Experiment runner: mixes, approaches, alone-run baselines, metrics.
+
+The runner owns the methodology boilerplate every experiment shares:
+
+* traces are generated once per (app, seed) and reused;
+* each application's *alone* IPC — the denominator of every speedup — is
+  measured once per configuration on the unpartitioned FR-FCFS system with
+  a single core, then cached;
+* a mix run builds a fresh :class:`~repro.sim.system.System` for the chosen
+  approach and converts the resulting IPCs into the paper's metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Sequence
+
+from ..config import SystemConfig
+from ..core.integration import Approach, get_approach
+from ..cpu.trace import Trace
+from ..errors import ExperimentError
+from ..metrics import MetricSummary, slowdowns, summarize
+from ..workloads import Mix, generate_trace, get_profile
+from .system import System, SystemResult
+
+
+@dataclass(frozen=True)
+class WorkloadRunMetrics:
+    """Metrics of one (mix, approach) run."""
+
+    mix: str
+    approach: str
+    summary: MetricSummary
+    slowdowns: Dict[int, float]
+    apps: Sequence[str]
+
+    @property
+    def weighted_speedup(self) -> float:
+        return self.summary.weighted_speedup
+
+    @property
+    def max_slowdown(self) -> float:
+        return self.summary.max_slowdown
+
+    @property
+    def harmonic_speedup(self) -> float:
+        return self.summary.harmonic_speedup
+
+
+@dataclass
+class RunResult:
+    """Metrics plus the raw system result, for deeper inspection."""
+
+    metrics: WorkloadRunMetrics
+    system: SystemResult
+    alone_ipcs: Dict[int, float] = field(default_factory=dict)
+    shared_ipcs: Dict[int, float] = field(default_factory=dict)
+
+
+class Runner:
+    """Shared methodology for every experiment."""
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        horizon: int = 400_000,
+        seed: int = 1,
+        target_insts: int = 4_000_000,
+        validate: bool = False,
+        ahead_limit: int = 8192,
+    ) -> None:
+        self.config = config if config is not None else SystemConfig()
+        if horizon <= 0:
+            raise ExperimentError("horizon must be positive")
+        self.horizon = horizon
+        self.seed = seed
+        self.target_insts = target_insts
+        self.validate = validate
+        self.ahead_limit = ahead_limit
+        self._trace_cache: Dict[str, Trace] = {}
+        self._alone_cache: Dict[str, float] = {}
+        self._run_cache: Dict[tuple, RunResult] = {}
+
+    # ------------------------------------------------------------------
+    def trace_for(self, app: str) -> Trace:
+        """The (cached) synthetic trace for one application."""
+        trace = self._trace_cache.get(app)
+        if trace is None:
+            trace = generate_trace(
+                get_profile(app), seed=self.seed, target_insts=self.target_insts
+            )
+            self._trace_cache[app] = trace
+        return trace
+
+    def alone_ipc(self, app: str) -> float:
+        """IPC of ``app`` running alone on the full machine (cached)."""
+        ipc = self._alone_cache.get(app)
+        if ipc is None:
+            config = replace(self.config, num_cores=1)
+            config = config.with_scheduler("frfcfs")
+            system = System(
+                config,
+                [self.trace_for(app)],
+                horizon=self.horizon,
+                validate=self.validate,
+                ahead_limit=self.ahead_limit,
+            )
+            result = system.run()
+            ipc = result.threads[0].ipc
+            if ipc <= 0:
+                raise ExperimentError(f"alone run of {app!r} retired nothing")
+            self._alone_cache[app] = ipc
+        return ipc
+
+    # ------------------------------------------------------------------
+    def run_apps(
+        self,
+        apps: Sequence[str],
+        approach: str,
+        mix_name: Optional[str] = None,
+    ) -> RunResult:
+        """Run a list of applications under a named approach.
+
+        Results are cached per (apps, approach): experiments that share runs
+        (e.g. the WS and MS views of the same sweep) pay for them once.
+        """
+        cache_key = (tuple(apps), approach)
+        cached = self._run_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        spec = get_approach(approach)
+        config = self._configure(spec, len(apps))
+        traces = [self.trace_for(app) for app in apps]
+        system = System(
+            config,
+            traces,
+            horizon=self.horizon,
+            policy=spec.make_policy(),
+            validate=self.validate,
+            ahead_limit=self.ahead_limit,
+        )
+        result = system.run()
+        shared = {t: result.threads[t].ipc for t in range(len(apps))}
+        for thread_id, ipc in shared.items():
+            if ipc <= 0:
+                raise ExperimentError(
+                    f"thread {thread_id} ({apps[thread_id]}) retired nothing "
+                    f"under {approach}"
+                )
+        alone = {t: self.alone_ipc(app) for t, app in enumerate(apps)}
+        metrics = WorkloadRunMetrics(
+            mix=mix_name or "+".join(apps),
+            approach=approach,
+            summary=summarize(alone, shared),
+            slowdowns=slowdowns(alone, shared),
+            apps=tuple(apps),
+        )
+        run_result = RunResult(
+            metrics=metrics,
+            system=result,
+            alone_ipcs=alone,
+            shared_ipcs=shared,
+        )
+        self._run_cache[cache_key] = run_result
+        return run_result
+
+    def run_mix(self, mix: Mix, approach: str) -> RunResult:
+        """Run a named mix under a named approach."""
+        return self.run_apps(list(mix.apps), approach, mix_name=mix.name)
+
+    def run_custom(
+        self,
+        apps: Sequence[str],
+        policy,
+        scheduler: str = "frfcfs",
+        label: str = "custom",
+        mix_name: Optional[str] = None,
+        **scheduler_params: object,
+    ) -> RunResult:
+        """Run with an explicit policy instance (sweeps and ablations).
+
+        Not cached: policy instances carry their own state and parameters,
+        so two calls with the same label are not necessarily the same run.
+        """
+        config = replace(self.config, num_cores=len(apps))
+        config = config.with_scheduler(scheduler, **scheduler_params)
+        traces = [self.trace_for(app) for app in apps]
+        system = System(
+            config,
+            traces,
+            horizon=self.horizon,
+            policy=policy,
+            validate=self.validate,
+            ahead_limit=self.ahead_limit,
+        )
+        result = system.run()
+        shared = {t: result.threads[t].ipc for t in range(len(apps))}
+        for thread_id, ipc in shared.items():
+            if ipc <= 0:
+                raise ExperimentError(
+                    f"thread {thread_id} ({apps[thread_id]}) retired nothing "
+                    f"under {label}"
+                )
+        alone = {t: self.alone_ipc(app) for t, app in enumerate(apps)}
+        metrics = WorkloadRunMetrics(
+            mix=mix_name or "+".join(apps),
+            approach=label,
+            summary=summarize(alone, shared),
+            slowdowns=slowdowns(alone, shared),
+            apps=tuple(apps),
+        )
+        return RunResult(
+            metrics=metrics,
+            system=result,
+            alone_ipcs=alone,
+            shared_ipcs=shared,
+        )
+
+    # ------------------------------------------------------------------
+    def _configure(self, spec: Approach, num_cores: int) -> SystemConfig:
+        config = replace(self.config, num_cores=num_cores)
+        return config.with_scheduler(spec.scheduler, **spec.scheduler_params)

@@ -1,0 +1,402 @@
+"""Full-system assembly.
+
+:class:`System` wires every substrate together for one simulation run:
+traces → cores → per-core private caches → page-table translation →
+channel controllers → DDR3 channels, with the partitioning policy steering
+the allocator and the shared profiler feeding both the policy and any
+adaptive scheduler. One :class:`System` is one run; the experiment runner
+builds many.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..baselines.base import PartitionContext, PartitionPolicy
+from ..baselines.shared import SharedPolicy
+from ..cache import Cache
+from ..config import SystemConfig
+from ..core.profiler import ThreadProfiler
+from ..cpu.core import Core
+from ..cpu.prefetcher import StridePrefetcher
+from ..cpu.trace import Trace
+from ..dram.channel import Channel
+from ..dram.validator import ProtocolValidator
+from ..errors import SimulationError
+from ..mapping import AddressMap
+from ..memctrl.controller import ChannelController
+from ..memctrl.request import Request
+from ..memctrl.schedulers import make_scheduler
+from ..osmm import ColorAwareAllocator, MigrationEngine, MigrationPlan, PageTable
+from .engine import Engine
+
+#: Cycles between successive migration copy pairs, so a page move does not
+#: slam the queues in a single cycle.
+_MIGRATION_SPACING = 16
+
+
+@dataclass(frozen=True)
+class ThreadResult:
+    """Per-thread outcome of one run."""
+
+    thread_id: int
+    app: str
+    ipc: float
+    retired_insts: int
+    reads: int
+    writes: int
+    llc_miss_rate: float
+    row_hit_rate: float
+    mean_read_latency: float
+
+
+@dataclass
+class SystemResult:
+    """Everything a run produced."""
+
+    horizon: int
+    threads: Dict[int, ThreadResult] = field(default_factory=dict)
+    total_commands: int = 0
+    total_refreshes: int = 0
+    pages_migrated: int = 0
+    engine_events: int = 0
+    #: Fraction of each channel's data-bus time spent transferring data.
+    bus_utilization: Dict[int, float] = field(default_factory=dict)
+
+    def ipc_of(self, thread_id: int) -> float:
+        return self.threads[thread_id].ipc
+
+
+class System:
+    """One fully-wired simulation instance (single use)."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        traces: List[Trace],
+        horizon: int,
+        policy: Optional[PartitionPolicy] = None,
+        validate: bool = False,
+        ahead_limit: int = 8192,
+    ) -> None:
+        if len(traces) != config.num_cores:
+            raise SimulationError(
+                f"{len(traces)} traces for {config.num_cores} cores"
+            )
+        self.config = config
+        self.traces = traces
+        self.horizon = horizon
+        self.policy = policy if policy is not None else SharedPolicy()
+        self.validate = validate
+        self.engine = Engine(horizon)
+        timings = config.timings
+        self.address_map = AddressMap(
+            config.organization,
+            config.osmm.page_size,
+            bank_xor=config.bank_xor_interleave,
+        )
+        self.allocator = ColorAwareAllocator(self.address_map)
+        self.page_tables: Dict[int, PageTable] = {
+            t: PageTable(t, self.allocator, self.address_map)
+            for t in range(config.num_cores)
+        }
+        self.migration = (
+            MigrationEngine(
+                self.allocator,
+                self.address_map,
+                config.osmm.migration_budget_pages,
+                config.osmm.migration_lines_per_page,
+                mode=config.osmm.migration_mode,
+            )
+            if config.osmm.migration_enabled
+            else None
+        )
+        self.scheduler = make_scheduler(
+            config.controller.scheduler,
+            num_threads=config.num_cores,
+            **config.controller.scheduler_params,
+        )
+        self.channels: List[Channel] = []
+        self.controllers: List[ChannelController] = []
+        for channel_id in range(config.organization.channels):
+            channel = Channel(
+                channel_id,
+                config.organization.ranks_per_channel,
+                config.organization.banks_per_rank,
+                timings,
+                clock_ratio=config.clock_ratio,
+                refresh_enabled=config.controller.refresh_enabled,
+            )
+            if validate:
+                channel.enable_logging()
+            controller = ChannelController(
+                channel, config.controller, self.scheduler, self.engine
+            )
+            self.channels.append(channel)
+            self.controllers.append(controller)
+        self.caches: Dict[int, Cache] = {
+            t: Cache(config.cache, seed=config.seed + t)
+            for t in range(config.num_cores)
+        }
+        self.prefetchers: Dict[int, StridePrefetcher] = {
+            t: StridePrefetcher(config.prefetcher)
+            for t in range(config.num_cores)
+        }
+        # Physical lines a prefetch is currently fetching, each with the
+        # demand completions waiting on the fill.
+        self._prefetch_inflight: Dict[int, list] = {}
+        self.cores: List[Core] = [
+            Core(
+                core_id=t,
+                config=config.core,
+                trace=traces[t],
+                port=self,
+                scheduler=self.engine,
+                horizon=horizon,
+                ahead_limit=ahead_limit,
+            )
+            for t in range(config.num_cores)
+        ]
+        self.profiler = ThreadProfiler(
+            num_threads=config.num_cores,
+            burst_cycles=timings.tBURST,
+            retired_insts_of=lambda t: self.cores[t].retired_insts_processed,
+        )
+        for controller in self.controllers:
+            controller.add_listener(self.profiler)
+        self.context = PartitionContext(
+            allocator=self.allocator,
+            address_map=self.address_map,
+            page_tables=self.page_tables,
+            migration=self.migration,
+            inject_copy_traffic=self._inject_copy_traffic,
+        )
+        self._epoch = self._compute_epoch()
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # Epoch plumbing: one shared period feeds the profiler's consumers.
+    # ------------------------------------------------------------------
+    def _compute_epoch(self) -> Optional[int]:
+        candidates = [
+            period
+            for period in (
+                self.scheduler.quantum_cycles,
+                self.policy.epoch_cycles,
+            )
+            if period is not None
+        ]
+        return min(candidates) if candidates else None
+
+    def _on_epoch(self, now: int) -> None:
+        snapshot = self.profiler.snapshot(now)
+        if self.scheduler.quantum_cycles is not None:
+            self.scheduler.on_quantum(snapshot)
+        if self.policy.epoch_cycles is not None:
+            self.policy.on_epoch(snapshot, self.context)
+        for table in self.page_tables.values():
+            table.reset_access_counts()
+        next_epoch = now + self._epoch
+        if next_epoch < self.horizon:
+            self.engine.schedule(next_epoch, self._on_epoch)
+
+    # ------------------------------------------------------------------
+    # MemoryPort implementation (what cores call).
+    # ------------------------------------------------------------------
+    def access(
+        self,
+        thread_id: int,
+        vline: int,
+        is_write: bool,
+        at: int,
+        on_complete: Optional[Callable[[int], None]],
+    ) -> Optional[int]:
+        pline = self.page_tables[thread_id].translate_line(vline)
+        if self.config.prefetcher.enabled:
+            self._maybe_prefetch(thread_id, vline, pline, at)
+        result = self.caches[thread_id].access(pline, is_write)
+        hit_latency = self.config.cache.hit_latency
+        in_flight = self._prefetch_inflight.get(pline)
+        if result.hit:
+            if is_write:
+                return None
+            return at + hit_latency
+        if in_flight is not None:
+            # A prefetch already fetched this line: piggyback on its fill
+            # instead of issuing a duplicate DRAM request.
+            if not is_write and on_complete is not None:
+                in_flight.append(
+                    lambda cycle, cb=on_complete, t0=at: cb(
+                        max(cycle, t0) + hit_latency
+                    )
+                )
+            return None
+        if result.writeback_line is not None:
+            self._send_request(
+                thread_id, result.writeback_line, True, at, None, False
+            )
+        if is_write:
+            # Write-allocate: the miss fetches the line (a non-blocking
+            # read); the dirty data drains later as a writeback.
+            self._send_request(thread_id, pline, False, at, None, False)
+            return None
+        wrapped = None
+        if on_complete is not None:
+            fill = hit_latency
+            wrapped = lambda cycle, cb=on_complete: cb(cycle + fill)
+        self._send_request(thread_id, pline, False, at, wrapped, False)
+        return None
+
+    def _maybe_prefetch(
+        self, thread_id: int, vline: int, pline: int, at: int
+    ) -> None:
+        """Train the core's stride prefetcher and issue its requests.
+
+        Prefetches are page-bounded, so their physical lines share the
+        demand access's frame; fills insert into the cache on completion,
+        and demand reads arriving meanwhile wait on the in-flight fill.
+        Prefetch traffic carries the issuing thread's id and therefore
+        counts toward its measured bandwidth and MPKI, as in hardware.
+        """
+        targets = self.prefetchers[thread_id].observe(vline)
+        if not targets:
+            return
+        cache = self.caches[thread_id]
+        page_mask = (1 << self.address_map.page_line_bits) - 1
+        for target in targets:
+            target_pline = (pline & ~page_mask) | (target & page_mask)
+            if cache.contains(target_pline):
+                continue
+            if target_pline in self._prefetch_inflight:
+                continue
+            self._prefetch_inflight[target_pline] = []
+            callback = lambda cycle, line=target_pline, t=thread_id: (
+                self._finish_prefetch(t, line, cycle)
+            )
+            self._send_request(thread_id, target_pline, False, at, callback, False)
+
+    def _finish_prefetch(self, thread_id: int, pline: int, cycle: int) -> None:
+        writeback = self.caches[thread_id].insert(pline)
+        if writeback is not None:
+            self._send_request(thread_id, writeback, True, cycle, None, False)
+        for waiter in self._prefetch_inflight.pop(pline, []):
+            waiter(cycle)
+
+    def _send_request(
+        self,
+        thread_id: int,
+        pline: int,
+        is_write: bool,
+        at: int,
+        on_complete: Optional[Callable[[int], None]],
+        is_migration: bool,
+    ) -> None:
+        loc = self.address_map.decompose_line(pline)
+        request = Request(
+            thread_id=thread_id,
+            is_write=is_write,
+            line_addr=pline,
+            loc=loc,
+            arrival=at,
+            on_complete=on_complete,
+            is_migration=is_migration,
+        )
+        controller = self.controllers[loc.channel]
+        if at <= self.engine.now:
+            controller.enqueue(request, self.engine.now)
+        else:
+            self.engine.schedule(
+                at, lambda cycle, r=request, c=controller: c.enqueue(r, cycle)
+            )
+
+    # ------------------------------------------------------------------
+    # Migration traffic.
+    # ------------------------------------------------------------------
+    def _inject_copy_traffic(self, plan: MigrationPlan) -> None:
+        now = self.engine.now
+        for index, (src, dst) in enumerate(plan.copy_lines):
+            at = now + index * _MIGRATION_SPACING
+            if at >= self.horizon:
+                break
+            self._send_request(plan.thread_id, src, False, at, None, True)
+            self._send_request(plan.thread_id, dst, True, at, None, True)
+        cache = self.caches[plan.thread_id]
+        lines_per_page = 1 << self.address_map.page_line_bits
+        budget = (
+            self.migration.budget_pages if self.migration is not None else 0
+        )
+        # Only the costed (hottest) moves are likely cache-resident; stale
+        # lines of cold remapped pages age out naturally.
+        for _vpage, old_frame, _new_frame in plan.moves[:budget]:
+            for offset in range(lines_per_page):
+                cache.invalidate(
+                    self.address_map.line_in_frame(old_frame, offset)
+                )
+
+    # ------------------------------------------------------------------
+    # Run.
+    # ------------------------------------------------------------------
+    def run(self) -> SystemResult:
+        """Execute the simulation to the horizon; single use."""
+        if self._ran:
+            raise SimulationError("System instances are single use")
+        self._ran = True
+        self.policy.initialize(self.context)
+        for core in self.cores:
+            core.start()
+        if self._epoch is not None and self._epoch < self.horizon:
+            self.engine.schedule(self._epoch, self._on_epoch)
+        self.engine.run()
+        if self.validate:
+            self._validate_command_streams()
+        return self._collect()
+
+    def _validate_command_streams(self) -> None:
+        org = self.config.organization
+        for channel in self.channels:
+            validator = ProtocolValidator(
+                self.config.timings,
+                org.ranks_per_channel,
+                org.banks_per_rank,
+                clock_ratio=self.config.clock_ratio,
+            )
+            validator.observe_all(channel.command_log or [])
+
+    def _collect(self) -> SystemResult:
+        result = SystemResult(horizon=self.horizon)
+        for thread_id, core in enumerate(self.cores):
+            ipc = core.ipc()
+            reads = writes = hits = latency = 0
+            for controller in self.controllers:
+                stats = controller.stats
+                reads += stats.per_thread_reads.get(thread_id, 0)
+                writes += stats.per_thread_writes.get(thread_id, 0)
+                hits += stats.per_thread_row_hits.get(thread_id, 0)
+                latency += stats.per_thread_latency_sum.get(thread_id, 0)
+            served = reads + writes
+            result.threads[thread_id] = ThreadResult(
+                thread_id=thread_id,
+                app=self.traces[thread_id].name,
+                ipc=ipc,
+                retired_insts=core.stats.retired_insts,
+                reads=reads,
+                writes=writes,
+                llc_miss_rate=self.caches[thread_id].miss_rate,
+                row_hit_rate=hits / served if served else 0.0,
+                mean_read_latency=latency / reads if reads else 0.0,
+            )
+        result.bus_utilization = {
+            controller.channel.channel_id: (
+                controller.stats.data_bus_busy / self.horizon
+            )
+            for controller in self.controllers
+        }
+        result.total_commands = sum(c.stat_commands for c in self.channels)
+        result.total_refreshes = sum(
+            rank.stat_refreshes for channel in self.channels for rank in channel.ranks
+        )
+        if self.migration is not None:
+            result.pages_migrated = self.migration.stat_pages_moved
+        result.engine_events = self.engine.stat_events
+        return result

@@ -1,0 +1,29 @@
+"""Synthetic SPEC-like workloads and multiprogrammed mixes.
+
+The paper evaluates multiprogrammed SPEC CPU2006 mixes. SPEC binaries and
+their traces are proprietary, so this package substitutes synthetic trace
+generators whose *memory behaviour* — MPKI, row-buffer locality, bank-level
+parallelism, footprint, write mix — is calibrated to published
+characterizations of each benchmark (see DESIGN.md, "Substitutions"). The
+partitioning and scheduling policies under study only ever observe those
+properties, which is what makes the substitution sound.
+"""
+
+from .profiles import AppProfile, APP_PROFILES, get_profile, profiles_by_intensity
+from .synthetic import generate_trace
+from .mixes import Mix, MIXES, get_mix, mixes_for_cores
+from .analysis import TraceAnalysis, analyze_trace
+
+__all__ = [
+    "AppProfile",
+    "APP_PROFILES",
+    "get_profile",
+    "profiles_by_intensity",
+    "generate_trace",
+    "Mix",
+    "MIXES",
+    "get_mix",
+    "mixes_for_cores",
+    "TraceAnalysis",
+    "analyze_trace",
+]

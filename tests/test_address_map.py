@@ -1,0 +1,156 @@
+"""Address mapping tests, including hypothesis round-trip properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import DRAMOrganization
+from repro.errors import MappingError
+from repro.mapping import AddressMap, MemLocation
+
+
+# Module-level map for hypothesis tests: AddressMap is immutable, so
+# sharing one instance across generated examples is safe.
+_ORG = DRAMOrganization(
+    channels=2,
+    ranks_per_channel=2,
+    banks_per_rank=8,
+    rows_per_bank=1024,
+    row_size_bytes=8192,
+)
+_AMAP = AddressMap(_ORG, page_size=4096)
+
+
+@pytest.fixture
+def amap():
+    return _AMAP
+
+
+class TestDecompose:
+    def test_zero_address(self, amap):
+        loc = amap.decompose_line(0)
+        assert loc == MemLocation(channel=0, rank=0, bank=0, row=0, col=0)
+
+    def test_column_in_low_bits(self, amap):
+        loc = amap.decompose_line(5)
+        assert loc.col == 5
+        assert (loc.channel, loc.rank, loc.bank, loc.row) == (0, 0, 0, 0)
+
+    def test_channel_above_column(self, amap):
+        cols = 8192 // 64
+        loc = amap.decompose_line(cols)
+        assert loc.channel == 1
+        assert loc.col == 0
+
+    def test_byte_address_entry_point(self, amap):
+        assert amap.decompose(64 * 5).col == 5
+
+    def test_out_of_range_rejected(self, amap):
+        with pytest.raises(MappingError):
+            amap.decompose_line(1 << amap.total_line_bits)
+        with pytest.raises(MappingError):
+            amap.decompose_line(-1)
+
+    @given(st.integers(min_value=0))
+    def test_roundtrip(self, line):
+        amap = _AMAP
+        line %= 1 << amap.total_line_bits
+        loc = amap.decompose_line(line)
+        assert amap.compose_line(loc) == line
+
+    def test_compose_field_range_checked(self, amap):
+        with pytest.raises(MappingError):
+            amap.compose_line(MemLocation(channel=2, rank=0, bank=0, row=0, col=0))
+
+
+class TestFrames:
+    def test_frame_count(self, amap):
+        assert amap.frames_total == amap.org.capacity_bytes // 4096
+        assert (
+            amap.frames_per_bin * amap.org.channels * amap.bank_colors
+            == amap.frames_total
+        )
+
+    @given(st.integers(min_value=0))
+    def test_frame_roundtrip(self, frame):
+        amap = _AMAP
+        frame %= amap.frames_total
+        channel, color, slot = amap.frame_fields(frame)
+        assert amap.compose_frame(channel, color, slot) == frame
+        assert amap.frame_channel(frame) == channel
+        assert amap.frame_bank_color(frame) == color
+
+    @given(
+        st.integers(0, 1),
+        st.integers(0, 15),
+        st.integers(min_value=0),
+    )
+    def test_compose_fields_roundtrip(self, channel, color, slot):
+        amap = _AMAP
+        slot %= amap.frames_per_bin
+        frame = amap.compose_frame(channel, color, slot)
+        assert amap.frame_fields(frame) == (channel, color, slot)
+
+    def test_color_encodes_rank_and_bank(self, amap):
+        frame = amap.compose_frame(0, 10, 0)  # color 10 = rank 1, bank 2
+        loc = amap.decompose_line(amap.line_in_frame(frame, 0))
+        assert loc.rank == 1
+        assert loc.bank == 2
+
+    def test_frame_lines_stay_in_one_bank_and_row(self, amap):
+        frame = amap.compose_frame(1, 7, 33)
+        locs = {
+            (lambda l: (l.channel, l.rank, l.bank, l.row))(
+                amap.decompose_line(amap.line_in_frame(frame, offset))
+            )
+            for offset in range(1 << amap.page_line_bits)
+        }
+        assert len(locs) == 1  # whole page in one (channel, bank, row)
+
+    def test_adjacent_slots_share_rows(self, amap):
+        # 8 KB rows and 4 KB pages: slots 0 and 1 are the two halves of
+        # row 0, giving cross-page row-buffer locality to dense bins.
+        f0 = amap.compose_frame(0, 0, 0)
+        f1 = amap.compose_frame(0, 0, 1)
+        row0 = amap.decompose_line(amap.line_in_frame(f0, 0)).row
+        row1 = amap.decompose_line(amap.line_in_frame(f1, 0)).row
+        assert row0 == row1
+
+    def test_range_checks(self, amap):
+        with pytest.raises(MappingError):
+            amap.frame_fields(amap.frames_total)
+        with pytest.raises(MappingError):
+            amap.compose_frame(0, 99, 0)
+        with pytest.raises(MappingError):
+            amap.compose_frame(0, 0, amap.frames_per_bin)
+        with pytest.raises(MappingError):
+            amap.line_in_frame(0, 64)
+
+    def test_frames_in_bin_enumeration(self, amap):
+        frames = list(amap.frames_in_bin(1, 3))
+        assert len(frames) == amap.frames_per_bin
+        assert all(amap.frame_channel(f) == 1 for f in frames[:5])
+        assert all(amap.frame_bank_color(f) == 3 for f in frames[:5])
+
+
+class TestConstraints:
+    def test_row_smaller_than_page_rejected(self):
+        org = DRAMOrganization(
+            row_size_bytes=4096, rows_per_bank=1024
+        )
+        AddressMap(org, page_size=4096)  # equal is fine
+        with pytest.raises(MappingError):
+            AddressMap(org, page_size=8192)
+
+    def test_page_smaller_than_line_rejected(self):
+        org = DRAMOrganization()
+        with pytest.raises(MappingError):
+            AddressMap(org, page_size=32)
+
+    def test_bank_key_unique(self, amap):
+        keys = set()
+        for ch in range(2):
+            for color in range(16):
+                frame = amap.compose_frame(ch, color, 0)
+                loc = amap.decompose_line(amap.line_in_frame(frame, 0))
+                keys.add(loc.bank_key)
+        assert len(keys) == 32

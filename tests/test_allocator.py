@@ -1,0 +1,153 @@
+"""Color-aware allocator tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import DRAMOrganization
+from repro.errors import AllocationError
+from repro.mapping import AddressMap
+from repro.osmm import ColorAwareAllocator
+
+
+def make_allocator(rows=64):
+    org = DRAMOrganization(
+        channels=2,
+        ranks_per_channel=1,
+        banks_per_rank=4,
+        rows_per_bank=rows,
+        row_size_bytes=8192,
+    )
+    amap = AddressMap(org, page_size=4096)
+    return ColorAwareAllocator(amap), amap
+
+
+class TestConstraints:
+    def test_unconstrained_thread_uses_everything(self):
+        allocator, amap = make_allocator()
+        assert allocator.thread_colors(0) == frozenset(range(4))
+        assert allocator.thread_channels(0) == frozenset(range(2))
+
+    def test_color_constraint_respected(self):
+        allocator, amap = make_allocator()
+        allocator.set_thread_colors(0, {1, 3})
+        for _ in range(40):
+            frame = allocator.allocate(0)
+            assert amap.frame_bank_color(frame) in {1, 3}
+
+    def test_channel_constraint_respected(self):
+        allocator, amap = make_allocator()
+        allocator.set_thread_channels(0, {1})
+        for _ in range(40):
+            assert amap.frame_channel(allocator.allocate(0)) == 1
+
+    def test_combined_constraints(self):
+        allocator, amap = make_allocator()
+        allocator.set_thread_colors(0, {2})
+        allocator.set_thread_channels(0, {0})
+        frame = allocator.allocate(0)
+        assert amap.frame_bank_color(frame) == 2
+        assert amap.frame_channel(frame) == 0
+
+    def test_empty_color_set_rejected(self):
+        allocator, _ = make_allocator()
+        with pytest.raises(AllocationError):
+            allocator.set_thread_colors(0, set())
+
+    def test_unknown_color_rejected(self):
+        allocator, _ = make_allocator()
+        with pytest.raises(AllocationError):
+            allocator.set_thread_colors(0, {99})
+
+    def test_unknown_channel_rejected(self):
+        allocator, _ = make_allocator()
+        with pytest.raises(AllocationError):
+            allocator.set_thread_channels(0, {5})
+
+
+class TestSpreading:
+    def test_round_robin_over_channels(self):
+        allocator, amap = make_allocator()
+        channels = [amap.frame_channel(allocator.allocate(0)) for _ in range(8)]
+        assert channels.count(0) == 4
+        assert channels.count(1) == 4
+
+    def test_round_robin_over_colors(self):
+        allocator, amap = make_allocator()
+        allocator.set_thread_colors(0, {0, 1})
+        colors = [
+            amap.frame_bank_color(allocator.allocate(0)) for _ in range(16)
+        ]
+        assert colors.count(0) == 8
+        assert colors.count(1) == 8
+
+    def test_no_duplicate_frames(self):
+        allocator, _ = make_allocator()
+        frames = [allocator.allocate(0) for _ in range(200)]
+        assert len(set(frames)) == len(frames)
+
+    def test_threads_never_share_frames(self):
+        allocator, _ = make_allocator()
+        allocator.set_thread_colors(0, {0, 1})
+        allocator.set_thread_colors(1, {2, 3})
+        a = {allocator.allocate(0) for _ in range(50)}
+        b = {allocator.allocate(1) for _ in range(50)}
+        assert not (a & b)
+
+
+class TestFreeAndExhaustion:
+    def test_free_and_reuse(self):
+        allocator, amap = make_allocator()
+        frame = allocator.allocate(0)
+        allocator.free(frame)
+        channel, color, _slot = amap.frame_fields(frame)
+        assert allocator.allocate_in(channel, color) == frame
+
+    def test_double_free_rejected(self):
+        allocator, _ = make_allocator()
+        frame = allocator.allocate(0)
+        allocator.free(frame)
+        # Freed slot goes back on the free list; freeing again is caught
+        # only for never-allocated slots, so free a fresh frame twice.
+        never = allocator.address_map.compose_frame(1, 3, 50)
+        with pytest.raises(AllocationError):
+            allocator.free(never)
+
+    def test_exhaustion_raises(self):
+        allocator, amap = make_allocator(rows=2)
+        allocator.set_thread_colors(0, {0})
+        allocator.set_thread_channels(0, {0})
+        for _ in range(amap.frames_per_bin):
+            allocator.allocate(0)
+        with pytest.raises(AllocationError):
+            allocator.allocate(0)
+
+    def test_falls_over_to_other_permitted_bins(self):
+        allocator, amap = make_allocator(rows=2)
+        allocator.set_thread_colors(0, {0, 1})
+        allocator.set_thread_channels(0, {0})
+        total = 2 * amap.frames_per_bin
+        frames = [allocator.allocate(0) for _ in range(total)]
+        assert len(set(frames)) == total
+
+    def test_available_in_accounting(self):
+        allocator, amap = make_allocator()
+        before = allocator.available_in(0, 0)
+        allocator.allocate_in(0, 0)
+        assert allocator.available_in(0, 0) == before - 1
+
+    def test_stats(self):
+        allocator, _ = make_allocator()
+        frame = allocator.allocate(0)
+        allocator.free(frame)
+        assert allocator.stat_allocations == 1
+        assert allocator.stat_frees == 1
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.sets(st.integers(0, 3), min_size=1), st.integers(1, 40))
+    def test_constraint_always_respected(self, colors, count):
+        allocator, amap = make_allocator()
+        allocator.set_thread_colors(7, colors)
+        for _ in range(count):
+            assert amap.frame_bank_color(allocator.allocate(7)) in colors

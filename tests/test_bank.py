@@ -1,0 +1,142 @@
+"""Bank state-machine tests: legal sequences advance horizons correctly,
+illegal sequences raise ProtocolError."""
+
+import pytest
+
+from repro.dram.bank import Bank, BankState
+from repro.errors import ProtocolError
+
+
+@pytest.fixture
+def bank(timings):
+    return Bank(rank_id=0, bank_id=0, timings=timings)
+
+
+class TestActivate:
+    def test_opens_row(self, bank):
+        bank.activate(0, 42)
+        assert bank.state is BankState.ACTIVE
+        assert bank.open_row == 42
+        assert bank.is_open(42)
+        assert not bank.is_open(43)
+
+    def test_sets_trcd_horizon(self, bank, timings):
+        bank.activate(100, 1)
+        assert bank.cas_ready_at(False) == 100 + timings.tRCD
+        assert bank.cas_ready_at(True) == 100 + timings.tRCD
+
+    def test_sets_tras_horizon(self, bank, timings):
+        bank.activate(100, 1)
+        assert bank.precharge_ready_at() == 100 + timings.tRAS
+
+    def test_sets_trc_horizon(self, bank, timings):
+        bank.activate(100, 1)
+        assert bank.activate_ready_at() == 100 + timings.tRC
+
+    def test_rejects_when_open(self, bank):
+        bank.activate(0, 1)
+        with pytest.raises(ProtocolError):
+            bank.activate(1000, 2)
+
+    def test_rejects_before_trc(self, bank, timings):
+        bank.activate(0, 1)
+        bank.precharge(timings.tRAS)
+        # tRP satisfied but tRC not yet.
+        early = min(timings.tRAS + timings.tRP, timings.tRC - 1)
+        if early < bank.earliest_activate:
+            with pytest.raises(ProtocolError):
+                bank.activate(early, 2)
+
+
+class TestReadWrite:
+    def test_read_returns_data_end(self, bank, timings):
+        bank.activate(0, 7)
+        now = timings.tRCD
+        assert bank.read(now, 7) == now + timings.CL + timings.tBURST
+
+    def test_write_returns_data_end(self, bank, timings):
+        bank.activate(0, 7)
+        now = timings.tRCD
+        assert bank.write(now, 7) == now + timings.CWL + timings.tBURST
+
+    def test_read_extends_precharge_by_trtp(self, bank, timings):
+        bank.activate(0, 7)
+        now = timings.tRAS  # past tRCD, at tRAS
+        bank.read(now, 7)
+        assert bank.precharge_ready_at() >= now + timings.tRTP
+
+    def test_write_extends_precharge_by_twr(self, bank, timings):
+        bank.activate(0, 7)
+        now = timings.tRAS
+        data_end = bank.write(now, 7)
+        assert bank.precharge_ready_at() >= data_end + timings.tWR
+
+    def test_read_to_idle_bank_rejected(self, bank):
+        with pytest.raises(ProtocolError):
+            bank.read(100, 7)
+
+    def test_read_wrong_row_rejected(self, bank, timings):
+        bank.activate(0, 7)
+        with pytest.raises(ProtocolError):
+            bank.read(timings.tRCD, 8)
+
+    def test_read_before_trcd_rejected(self, bank, timings):
+        bank.activate(0, 7)
+        with pytest.raises(ProtocolError):
+            bank.read(timings.tRCD - 1, 7)
+
+    def test_stats_counted(self, bank, timings):
+        bank.activate(0, 7)
+        bank.read(timings.tRCD, 7)
+        bank.read(timings.tRCD + timings.tCCD, 7)
+        assert bank.stat_activates == 1
+        assert bank.stat_reads == 2
+
+
+class TestPrecharge:
+    def test_closes_row(self, bank, timings):
+        bank.activate(0, 7)
+        bank.precharge(timings.tRAS)
+        assert bank.state is BankState.IDLE
+        assert bank.open_row is None
+
+    def test_sets_trp_horizon(self, bank, timings):
+        bank.activate(0, 7)
+        bank.precharge(timings.tRAS)
+        assert bank.activate_ready_at() >= timings.tRAS + timings.tRP
+
+    def test_precharge_idle_rejected(self, bank):
+        with pytest.raises(ProtocolError):
+            bank.precharge(100)
+
+    def test_precharge_before_tras_rejected(self, bank, timings):
+        bank.activate(0, 7)
+        with pytest.raises(ProtocolError):
+            bank.precharge(timings.tRAS - 1)
+
+
+class TestBlockUntil:
+    def test_pushes_all_horizons(self, bank):
+        bank.block_until(500)
+        assert bank.activate_ready_at() >= 500
+        assert bank.cas_ready_at(False) >= 500
+        assert bank.cas_ready_at(True) >= 500
+        assert bank.precharge_ready_at() >= 500
+
+    def test_never_moves_horizons_backwards(self, bank, timings):
+        bank.activate(0, 1)
+        horizon = bank.activate_ready_at()
+        bank.block_until(1)
+        assert bank.activate_ready_at() == horizon
+
+
+class TestFullCycle:
+    def test_activate_read_precharge_activate(self, bank, timings):
+        bank.activate(0, 1)
+        bank.read(timings.tRCD, 1)
+        t_pre = max(timings.tRAS, timings.tRCD + timings.tRTP)
+        bank.precharge(t_pre)
+        t_act = max(t_pre + timings.tRP, timings.tRC)
+        bank.activate(t_act, 2)
+        assert bank.open_row == 2
+        assert bank.stat_precharges == 1

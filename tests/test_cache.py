@@ -1,0 +1,133 @@
+"""Cache model tests: hits, LRU, writebacks, invalidation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import Cache
+from repro.config import CacheConfig
+
+
+def small_cache(sets=4, assoc=2, writeback=True):
+    config = CacheConfig(
+        size_bytes=sets * assoc * 64,
+        associativity=assoc,
+        line_size=64,
+        writeback=writeback,
+    )
+    return Cache(config)
+
+
+class TestBasics:
+    def test_first_access_misses(self):
+        cache = small_cache()
+        assert not cache.access(0, False).hit
+
+    def test_second_access_hits(self):
+        cache = small_cache()
+        cache.access(0, False)
+        assert cache.access(0, True).hit
+
+    def test_different_sets_independent(self):
+        cache = small_cache(sets=4)
+        cache.access(0, False)
+        assert not cache.access(1, False).hit  # next set
+
+    def test_contains(self):
+        cache = small_cache()
+        cache.access(5, False)
+        assert cache.contains(5)
+        assert not cache.contains(9)
+
+    def test_miss_rate(self):
+        cache = small_cache()
+        cache.access(0, False)
+        cache.access(0, False)
+        assert cache.miss_rate == pytest.approx(0.5)
+        assert small_cache().miss_rate == 0.0
+
+
+class TestLRU:
+    def test_lru_victim_is_oldest(self):
+        cache = small_cache(sets=1, assoc=2)
+        cache.access(0, False)  # tags 0, 1 fill set 0
+        cache.access(1, False)
+        cache.access(0, False)  # touch 0: now 1 is LRU
+        cache.access(2, False)  # evicts 1
+        assert cache.contains(0)
+        assert not cache.contains(1)
+        assert cache.contains(2)
+
+    def test_fill_uses_free_way_before_evicting(self):
+        cache = small_cache(sets=1, assoc=4)
+        for tag in range(4):
+            cache.access(tag, False)
+        assert all(cache.contains(t) for t in range(4))
+
+
+class TestWriteback:
+    def test_dirty_eviction_reports_victim_line(self):
+        cache = small_cache(sets=1, assoc=1)
+        cache.access(0, True)  # dirty
+        result = cache.access(1, False)  # evicts 0
+        assert result.writeback_line == 0
+        assert cache.stat_writebacks == 1
+
+    def test_clean_eviction_silent(self):
+        cache = small_cache(sets=1, assoc=1)
+        cache.access(0, False)
+        assert cache.access(1, False).writeback_line is None
+
+    def test_write_hit_marks_dirty(self):
+        cache = small_cache(sets=1, assoc=1)
+        cache.access(0, False)  # clean fill
+        cache.access(0, True)  # dirty it
+        assert cache.access(1, False).writeback_line == 0
+
+    def test_writethrough_mode_never_dirty(self):
+        cache = small_cache(sets=1, assoc=1, writeback=False)
+        cache.access(0, True)
+        assert cache.access(1, False).writeback_line is None
+
+
+class TestInvalidate:
+    def test_invalidate_removes_line(self):
+        cache = small_cache()
+        cache.access(7, True)
+        assert cache.invalidate(7)
+        assert not cache.contains(7)
+        assert not cache.access(7, False).hit
+
+    def test_invalidate_absent_returns_false(self):
+        cache = small_cache()
+        assert not cache.invalidate(3)
+
+
+class TestCapacityProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=300))
+    def test_never_holds_more_than_capacity(self, addresses):
+        cache = small_cache(sets=4, assoc=2)
+        for addr in addresses:
+            cache.access(addr, False)
+        resident = sum(1 for a in range(256) if cache.contains(a))
+        assert resident <= 8
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=200))
+    def test_hits_plus_misses_equals_accesses(self, addresses):
+        cache = small_cache()
+        for addr in addresses:
+            cache.access(addr, addr % 2 == 0)
+        assert cache.stat_hits + cache.stat_misses == len(addresses)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=50))
+    def test_working_set_within_one_set_capacity_always_hits_after_fill(
+        self, addresses
+    ):
+        # 8 distinct lines mapping to 4 sets x 2 ways always fit.
+        cache = small_cache(sets=4, assoc=2)
+        for addr in range(8):
+            cache.access(addr, False)
+        for addr in addresses:
+            assert cache.access(addr, False).hit

@@ -1,0 +1,130 @@
+"""Channel-level tests: buses, turnaround rules, and command issue."""
+
+import pytest
+
+from repro.dram.channel import Channel
+from repro.dram.commands import Command, CommandType
+from repro.errors import ProtocolError
+
+
+def make_channel(timings, ranks=2, banks=4, ratio=1):
+    return Channel(0, ranks, banks, timings, clock_ratio=ratio)
+
+
+def cmd(cycle, kind, rank=0, bank=0, row=-1):
+    return Command(cycle=cycle, kind=kind, channel=0, rank=rank, bank=bank, row=row)
+
+
+def open_row(channel, timings, rank=0, bank=0, row=1, at=0):
+    channel.issue(cmd(at, CommandType.ACTIVATE, rank, bank, row))
+    return at + timings.tRCD
+
+
+class TestCommandBus:
+    def test_one_command_per_bus_cycle(self, timings):
+        channel = make_channel(timings, ratio=4)
+        channel.issue(cmd(0, CommandType.ACTIVATE, 0, 0, 1))
+        with pytest.raises(ProtocolError):
+            channel.issue(cmd(3, CommandType.ACTIVATE, 0, 1, 1))
+        channel.issue(cmd(4, CommandType.ACTIVATE, 0, 1, 1))
+
+    def test_bus_free_time_advances(self, timings):
+        channel = make_channel(timings, ratio=4)
+        channel.issue(cmd(0, CommandType.ACTIVATE, 0, 0, 1))
+        assert channel.command_bus_free_at() == 4
+
+
+class TestCas:
+    def test_read_after_trcd(self, timings):
+        channel = make_channel(timings)
+        ready = open_row(channel, timings)
+        assert channel.earliest_cas(0, 0, False) == ready
+        data_end = channel.issue(cmd(ready, CommandType.READ, 0, 0))
+        assert data_end == ready + timings.CL + timings.tBURST
+
+    def test_tccd_same_rank(self, timings):
+        channel = make_channel(timings)
+        ready = open_row(channel, timings)
+        channel.issue(cmd(ready, CommandType.READ, 0, 0))
+        assert channel.earliest_cas(0, 0, False) >= ready + timings.tCCD
+
+    def test_wtr_same_rank(self, timings):
+        channel = make_channel(timings)
+        ready = open_row(channel, timings)
+        data_end = channel.issue(cmd(ready, CommandType.WRITE, 0, 0))
+        assert channel.earliest_cas(0, 0, False) >= data_end + timings.tWTR
+
+    def test_rtw_turnaround(self, timings):
+        channel = make_channel(timings)
+        ready = open_row(channel, timings)
+        channel.issue(cmd(ready, CommandType.READ, 0, 0))
+        assert channel.earliest_cas(0, 0, True) >= ready + timings.tRTW
+
+    def test_rank_switch_needs_trtrs_gap(self, timings):
+        channel = make_channel(timings)
+        r0 = open_row(channel, timings, rank=0)
+        open_row(channel, timings, rank=1, at=timings.tRRD)  # other rank: no tRRD issue
+        data_end = channel.issue(cmd(r0, CommandType.READ, 0, 0))
+        earliest_other = channel.earliest_cas(1, 0, False)
+        assert earliest_other + timings.CL >= data_end + timings.tRTRS
+
+    def test_cas_without_open_row_rejected(self, timings):
+        channel = make_channel(timings)
+        with pytest.raises(ProtocolError):
+            channel.issue(cmd(100, CommandType.READ, 0, 0))
+
+    def test_early_cas_rejected(self, timings):
+        channel = make_channel(timings)
+        open_row(channel, timings)
+        with pytest.raises(ProtocolError):
+            channel.issue(cmd(timings.tRCD - 1, CommandType.READ, 0, 0))
+
+
+class TestEarliestQueries:
+    def test_activate_folds_rank_constraints(self, timings):
+        channel = make_channel(timings)
+        channel.issue(cmd(0, CommandType.ACTIVATE, 0, 0, 1))
+        assert channel.earliest_activate(0, 1) >= timings.tRRD
+        # Other rank unconstrained by this rank's tRRD (only bus).
+        assert channel.earliest_activate(1, 0) <= timings.tRRD
+
+    def test_precharge_query(self, timings):
+        channel = make_channel(timings)
+        open_row(channel, timings)
+        assert channel.earliest_precharge(0, 0) == timings.tRAS
+
+
+class TestRefresh:
+    def test_refresh_blocks_rank(self, timings):
+        channel = make_channel(timings)
+        done = channel.issue(
+            cmd(timings.tREFI, CommandType.REFRESH, rank=0, bank=-1)
+        )
+        assert done == timings.tREFI + timings.tRFC
+        assert channel.earliest_activate(0, 0) >= done
+
+    def test_refresh_pending_report(self, timings):
+        channel = make_channel(timings)
+        assert channel.refresh_pending(timings.tREFI) == [0, 1]
+        assert channel.refresh_pending(0) == []
+
+
+class TestBookkeeping:
+    def test_wrong_channel_rejected(self, timings):
+        channel = make_channel(timings)
+        bad = Command(0, CommandType.ACTIVATE, channel=1, rank=0, bank=0, row=1)
+        with pytest.raises(ProtocolError):
+            channel.issue(bad)
+
+    def test_command_log(self, timings):
+        channel = make_channel(timings)
+        channel.enable_logging()
+        open_row(channel, timings)
+        assert len(channel.command_log) == 1
+        assert channel.command_log[0].kind is CommandType.ACTIVATE
+        assert channel.stat_commands == 1
+
+    def test_open_banks_report(self, timings):
+        channel = make_channel(timings)
+        open_row(channel, timings, bank=2, row=9)
+        assert channel.open_banks(0) == [(2, 9)]

@@ -1,0 +1,59 @@
+"""CLI tests driving main(argv) directly."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_list_exits_zero(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "experiments:" in out
+        assert "dbp-tcm" in out
+        assert "M1" in out
+
+
+class TestConfig:
+    def test_config_prints_system(self, capsys):
+        assert main(["config"]) == 0
+        out = capsys.readouterr().out
+        assert "DDR3-1066" in out
+        assert "Bank colors" in out
+
+
+class TestMix:
+    def test_mix_runs_default_approaches(self, capsys):
+        assert main(["--horizon", "20000", "mix", "M4"]) == 0
+        out = capsys.readouterr().out
+        assert "shared-frfcfs" in out
+        assert "dbp" in out
+        assert "WS" in out
+
+    def test_unknown_mix_errors(self, capsys):
+        assert main(["--horizon", "20000", "mix", "M99"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_approach_errors(self, capsys):
+        assert main(["--horizon", "20000", "mix", "M4", "warp-drive"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_run_t3(self, capsys):
+        assert main(["run", "T3"]) == 0
+        assert "Workload mixes" in capsys.readouterr().out
+
+    def test_run_t1(self, capsys):
+        assert main(["run", "T1"]) == 0
+        assert "configuration" in capsys.readouterr().out
+
+    def test_run_f2_with_mix_subset(self, capsys):
+        assert main(["--horizon", "20000", "run", "F2", "--mixes", "M4"]) == 0
+        out = capsys.readouterr().out
+        assert "Weighted speedup" in out
+        assert "gmean" in out
+
+    def test_run_unknown_experiment_errors(self, capsys):
+        assert main(["run", "F77"]) == 1
+        assert "error" in capsys.readouterr().err

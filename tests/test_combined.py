@@ -1,0 +1,58 @@
+"""Combined channel+bank partitioning tests."""
+
+import pytest
+
+from repro.core import CombinedPartitioning, get_approach
+from repro.core.dbp import DBPConfig
+from repro.baselines.mcp import MCPConfig
+from repro.memctrl.schedulers.base import ProfileSnapshot, ThreadProfile
+from tests.test_baselines import make_world
+
+
+def prof(thread, mpki=20.0, rbh=0.5, blp=2.0, bandwidth=0.3):
+    return ThreadProfile(thread, mpki, rbh, blp, bandwidth, requests=100)
+
+
+def snap(*profiles):
+    return ProfileSnapshot(cycle=0, threads={p.thread_id: p for p in profiles})
+
+
+class TestCombined:
+    def test_registered_as_approach(self):
+        approach = get_approach("dbp+mcp")
+        assert isinstance(approach.make_policy(), CombinedPartitioning)
+
+    def test_epoch_is_min_of_dimensions(self):
+        policy = CombinedPartitioning(
+            DBPConfig(epoch_cycles=10_000), MCPConfig(epoch_cycles=40_000)
+        )
+        assert policy.epoch_cycles == 10_000
+
+    def test_both_dimensions_constrained_after_epoch(self):
+        world = make_world(num_threads=4, colors=8, channels=2)
+        policy = CombinedPartitioning(
+            DBPConfig(demand_smoothing=0.0, hysteresis_colors=0)
+        )
+        policy.initialize(world)
+        snapshot = snap(
+            prof(0, mpki=30, rbh=0.9, blp=1.0),
+            prof(1, mpki=25, rbh=0.2, blp=6.0),
+            prof(2, mpki=0.1),
+            prof(3, mpki=0.2),
+        )
+        policy.on_epoch(snapshot, world)
+        # Channel dimension: intensive threads pinned to single channels.
+        assert len(world.allocator.thread_channels(0)) == 1
+        assert len(world.allocator.thread_channels(1)) == 1
+        # Bank dimension: high-BLP thread owns more colors than streamer.
+        colors_streamer = world.allocator.thread_colors(0)
+        colors_parallel = world.allocator.thread_colors(1)
+        assert len(colors_parallel) > len(colors_streamer)
+        assert not colors_parallel & colors_streamer
+
+    def test_repartition_counter_delegates(self):
+        world = make_world(num_threads=2, colors=8, channels=2)
+        policy = CombinedPartitioning()
+        policy.initialize(world)
+        policy.on_epoch(snap(prof(0), prof(1)), world)
+        assert policy.stat_repartitions == 1

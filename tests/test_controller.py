@@ -1,0 +1,260 @@
+"""Channel controller integration tests with scripted requests."""
+
+import pytest
+
+from repro.config import ControllerConfig
+from repro.dram.channel import Channel
+from repro.dram.commands import CommandType
+from repro.dram.timing import DDR3_1066
+from repro.dram.validator import ProtocolValidator
+from repro.mapping import MemLocation
+from repro.memctrl.controller import ChannelController
+from repro.memctrl.request import Request
+from repro.memctrl.schedulers import make_scheduler
+from repro.sim.engine import Engine
+
+
+def make_setup(
+    scheduler="frfcfs",
+    num_threads=2,
+    refresh=True,
+    horizon=200_000,
+    **ctl_overrides,
+):
+    engine = Engine(horizon)
+    channel = Channel(0, 1, 4, DDR3_1066, clock_ratio=1, refresh_enabled=refresh)
+    channel.enable_logging()
+    config = ControllerConfig(
+        read_queue_depth=32,
+        write_queue_depth=32,
+        write_high_watermark=8,
+        write_low_watermark=2,
+        refresh_enabled=refresh,
+        **ctl_overrides,
+    )
+    sched = make_scheduler(scheduler, num_threads=num_threads)
+    controller = ChannelController(channel, config, sched, engine)
+    return engine, channel, controller
+
+
+def req(thread, bank, row, col=0, write=False, arrival=0, on_complete=None):
+    return Request(
+        thread_id=thread,
+        is_write=write,
+        line_addr=(row * 4 + bank) * 128 + col,
+        loc=MemLocation(channel=0, rank=0, bank=bank, row=row, col=col),
+        arrival=arrival,
+        on_complete=on_complete,
+    )
+
+
+class TestBasicService:
+    def test_single_read_completes(self):
+        engine, channel, controller = make_setup(refresh=False)
+        done = []
+        controller.enqueue(req(0, 0, 5, on_complete=done.append), 0)
+        engine.run()
+        t = DDR3_1066
+        assert done == [t.tRCD + t.CL + t.tBURST]
+        assert controller.stats.reads_served == 1
+        assert controller.stats.row_hits == 0
+        assert controller.stats.row_misses == 1
+
+    def test_row_hit_second_request(self):
+        engine, channel, controller = make_setup(refresh=False)
+        done = []
+        controller.enqueue(req(0, 0, 5, col=0, on_complete=done.append), 0)
+        controller.enqueue(req(0, 0, 5, col=1, on_complete=done.append), 0)
+        engine.run()
+        assert controller.stats.row_hits == 1
+        assert len(done) == 2
+
+    def test_row_conflict_precharges(self):
+        engine, channel, controller = make_setup(refresh=False)
+        done = []
+        controller.enqueue(req(0, 0, 5, on_complete=done.append), 0)
+        controller.enqueue(req(0, 0, 9, on_complete=done.append), 0)
+        engine.run()
+        kinds = [c.kind for c in channel.command_log]
+        assert kinds.count(CommandType.PRECHARGE) >= 1
+        assert kinds.count(CommandType.ACTIVATE) == 2
+        assert len(done) == 2
+
+    def test_banks_overlap(self):
+        engine, channel, controller = make_setup(refresh=False)
+        done = []
+        for bank in range(4):
+            controller.enqueue(req(0, bank, 1, on_complete=done.append), 0)
+        engine.run()
+        # Bank-parallel service: total time far below 4x serial tRC.
+        assert max(done) < 4 * DDR3_1066.tRC
+
+    def test_commands_are_protocol_legal(self):
+        engine, channel, controller = make_setup(refresh=False)
+        for i in range(20):
+            controller.enqueue(req(0, i % 4, i % 3, col=i, write=i % 2 == 0), 0)
+        engine.run()
+        validator = ProtocolValidator(DDR3_1066, 1, 4)
+        validator.observe_all(channel.command_log)
+
+
+class TestAnalyticBounds:
+    def test_row_hit_stream_runs_at_tccd_rate(self):
+        # A stream of same-row reads is bounded by tCCD: after the first
+        # CAS, subsequent CAS commands issue exactly tCCD apart.
+        engine, channel, controller = make_setup(refresh=False)
+        for col in range(10):
+            controller.enqueue(req(0, 0, 5, col=col), 0)
+        engine.run()
+        cas_times = [
+            c.cycle
+            for c in channel.command_log
+            if c.kind is CommandType.READ
+        ]
+        assert len(cas_times) == 10
+        gaps = [b - a for a, b in zip(cas_times, cas_times[1:])]
+        assert all(g == DDR3_1066.tCCD for g in gaps)
+
+    def test_closed_bank_random_rows_bounded_by_trc(self):
+        # Serial row conflicts in one bank cannot beat the tRC limit.
+        engine, channel, controller = make_setup(refresh=False)
+        for row in range(8):
+            controller.enqueue(req(0, 0, row, arrival=0), 0)
+        engine.run()
+        act_times = [
+            c.cycle
+            for c in channel.command_log
+            if c.kind is CommandType.ACTIVATE
+        ]
+        gaps = [b - a for a, b in zip(act_times, act_times[1:])]
+        assert all(g >= DDR3_1066.tRC for g in gaps)
+
+
+class TestFRFCFSOrdering:
+    def test_row_hit_served_before_older_conflict(self):
+        engine, channel, controller = make_setup(refresh=False)
+        order = []
+        # Open row 5 in bank 0 first.
+        controller.enqueue(req(0, 0, 5, on_complete=lambda c: order.append("warm")), 0)
+        engine.run(until=100)
+        # Older request conflicts (row 9); younger hits row 5.
+        controller.enqueue(
+            req(1, 0, 9, arrival=100, on_complete=lambda c: order.append("conflict")),
+            100,
+        )
+        controller.enqueue(
+            req(0, 0, 5, col=3, arrival=101, on_complete=lambda c: order.append("hit")),
+            101,
+        )
+        engine.run()
+        assert order == ["warm", "hit", "conflict"]
+
+
+class TestWriteDrain:
+    def test_reads_prioritized_below_watermark(self):
+        engine, channel, controller = make_setup(refresh=False)
+        # 4 writes (below the high watermark of 8) arrive first, then a
+        # read: the read must still be served before any write drains.
+        for i in range(4):
+            controller.enqueue(req(0, 1, 2, col=i, write=True), 0)
+        controller.enqueue(req(0, 0, 1, on_complete=lambda c: None), 0)
+        engine.run()
+        log = controller.channel.command_log
+        first_read = next(
+            i for i, c in enumerate(log) if c.kind is CommandType.READ
+        )
+        first_write = next(
+            i for i, c in enumerate(log) if c.kind is CommandType.WRITE
+        )
+        assert first_read < first_write
+
+    def test_drain_triggers_at_high_watermark(self):
+        engine, channel, controller = make_setup(refresh=False)
+        for i in range(9):  # above high watermark 8
+            controller.enqueue(req(0, i % 4, 2, col=i, write=True), 0)
+        engine.run()
+        assert controller.stats.writes_served >= 7  # drained to low mark
+
+    def test_writes_served_when_no_reads(self):
+        engine, channel, controller = make_setup(refresh=False)
+        controller.enqueue(req(0, 0, 1, write=True), 0)
+        engine.run()
+        assert controller.stats.writes_served == 1
+
+
+class TestRefresh:
+    def test_refresh_issued_on_schedule(self):
+        engine, channel, controller = make_setup(horizon=3 * DDR3_1066.tREFI)
+        engine.run()
+        assert channel.ranks[0].stat_refreshes >= 2
+
+    def test_refresh_precharges_open_banks_first(self):
+        engine, channel, controller = make_setup(horizon=2 * DDR3_1066.tREFI)
+        controller.enqueue(req(0, 0, 5), 0)  # leaves row 5 open
+        engine.run()
+        kinds = [c.kind for c in channel.command_log]
+        ref_index = kinds.index(CommandType.REFRESH)
+        assert CommandType.PRECHARGE in kinds[:ref_index]
+
+    def test_stream_with_refresh_is_protocol_legal(self):
+        engine, channel, controller = make_setup(horizon=3 * DDR3_1066.tREFI)
+        for i in range(30):
+            controller.enqueue(
+                req(0, i % 4, i % 5, col=i, arrival=i * 317), i * 317
+            )
+        engine.run()
+        validator = ProtocolValidator(DDR3_1066, 1, 4)
+        validator.observe_all(channel.command_log)
+
+
+class TestStats:
+    def test_per_thread_accounting(self):
+        engine, channel, controller = make_setup(refresh=False)
+        controller.enqueue(req(0, 0, 1), 0)
+        controller.enqueue(req(1, 1, 1), 0)
+        controller.enqueue(req(1, 2, 1, write=True), 0)
+        engine.run()
+        stats = controller.stats
+        assert stats.per_thread_reads == {0: 1, 1: 1}
+        assert stats.per_thread_writes == {1: 1}
+        assert stats.reads_served == 2
+        assert stats.writes_served == 1
+
+    def test_latency_accounting(self):
+        engine, channel, controller = make_setup(refresh=False)
+        controller.enqueue(req(0, 0, 1), 0)
+        engine.run()
+        assert controller.stats.read_latency_sum >= 0
+        assert controller.stats.row_hit_rate == 0.0
+
+    def test_listener_hooks_called(self):
+        engine, channel, controller = make_setup(refresh=False)
+        events = []
+
+        class Listener:
+            def on_arrival(self, request, now):
+                events.append(("arrive", request.req_id))
+
+            def on_cas(self, request, now, row_hit):
+                events.append(("cas", request.req_id, row_hit))
+
+        controller.add_listener(Listener())
+        controller.enqueue(req(0, 0, 1), 0)
+        engine.run()
+        assert events[0][0] == "arrive"
+        assert events[1][0] == "cas"
+        assert events[1][2] is False
+
+    def test_wrong_channel_rejected(self):
+        engine, channel, controller = make_setup(refresh=False)
+        bad = Request(
+            thread_id=0,
+            is_write=False,
+            line_addr=0,
+            loc=MemLocation(channel=1, rank=0, bank=0, row=0, col=0),
+            arrival=0,
+        )
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            controller.enqueue(bad, 0)

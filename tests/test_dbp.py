@@ -1,0 +1,242 @@
+"""Dynamic Bank Partitioning policy tests.
+
+``compute_allocation`` is a pure function of (profiles, context scale), so
+most tests drive it directly; the apply/migrate path is covered through a
+real allocator world and in the system integration tests.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import DRAMOrganization
+from repro.core.dbp import DBPConfig, DynamicBankPartitioning
+from repro.core.demand import DemandConfig
+from repro.errors import ConfigError
+from repro.mapping import AddressMap
+from repro.baselines.base import PartitionContext
+from repro.memctrl.schedulers.base import ProfileSnapshot, ThreadProfile
+from repro.osmm import ColorAwareAllocator, MigrationEngine, PageTable
+
+
+def ctx(num_threads=4, colors=8):
+    return SimpleNamespace(num_threads=num_threads, total_bank_colors=colors)
+
+
+def prof(thread, mpki=20.0, rbh=0.5, blp=2.0):
+    return ThreadProfile(thread, mpki, rbh, blp, bandwidth=0.2, requests=100)
+
+
+def snap(*profiles):
+    return ProfileSnapshot(cycle=0, threads={p.thread_id: p for p in profiles})
+
+
+def dbp(**overrides):
+    defaults = dict(demand_smoothing=0.0, hysteresis_colors=0)
+    defaults.update(overrides)
+    return DynamicBankPartitioning(DBPConfig(**defaults))
+
+
+class TestAllocationInvariants:
+    def test_partitions_disjoint_and_cover_interest(self):
+        policy = dbp()
+        alloc = policy.compute_allocation(
+            snap(prof(0, blp=6), prof(1, blp=2), prof(2, blp=2), prof(3, blp=1)),
+            ctx(),
+        )
+        seen = []
+        for colors in alloc.values():
+            seen.extend(colors)
+        assert sorted(seen) == sorted(set(seen))  # disjoint
+        assert set(seen) <= set(range(8))
+
+    def test_every_thread_gets_at_least_one_color(self):
+        policy = dbp()
+        alloc = policy.compute_allocation(
+            snap(*[prof(t, blp=4) for t in range(4)]), ctx()
+        )
+        assert all(len(colors) >= 1 for colors in alloc.values())
+
+    def test_high_blp_thread_gets_more_colors(self):
+        policy = dbp()
+        alloc = policy.compute_allocation(
+            snap(prof(0, blp=8), prof(1, blp=1), prof(2, blp=1), prof(3, blp=1)),
+            ctx(),
+        )
+        assert len(alloc[0]) > len(alloc[1])
+
+    def test_all_light_threads_share_everything(self):
+        policy = dbp()
+        alloc = policy.compute_allocation(
+            snap(*[prof(t, mpki=0.1) for t in range(4)]), ctx()
+        )
+        assert all(colors == list(range(8)) for colors in alloc.values())
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0.0, 50.0),  # mpki
+                st.floats(0.0, 0.99),  # rbh
+                st.floats(0.0, 16.0),  # blp
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_intensive_partitions_always_disjoint(self, thread_params):
+        policy = dbp()
+        profiles = [
+            prof(t, mpki=m, rbh=r, blp=b)
+            for t, (m, r, b) in enumerate(thread_params)
+        ]
+        context = ctx(num_threads=len(profiles), colors=16)
+        alloc = policy.compute_allocation(snap(*profiles), context)
+        intensive = [t for t, p in enumerate(profiles) if p.mpki >= 1.0]
+        used = []
+        for t in intensive:
+            assert len(alloc[t]) >= 1
+            used.extend(alloc[t])
+        assert len(used) == len(set(used))
+        for t in range(len(profiles)):
+            assert alloc[t], f"thread {t} got no colors"
+            assert set(alloc[t]) <= set(range(16))
+
+
+class TestPooling:
+    def test_light_threads_share_pool(self):
+        policy = dbp()
+        alloc = policy.compute_allocation(
+            snap(prof(0, blp=4), prof(1, mpki=0.1), prof(2, mpki=0.2), prof(3, blp=2)),
+            ctx(),
+        )
+        assert alloc[1] == alloc[2]
+        assert not set(alloc[1]) & set(alloc[0])
+        assert not set(alloc[1]) & set(alloc[3])
+
+    def test_pool_disabled_gives_dedicated_colors(self):
+        policy = dbp(pool_non_intensive=False)
+        alloc = policy.compute_allocation(
+            snap(prof(0, blp=4), prof(1, mpki=0.1), prof(2, mpki=0.2), prof(3, blp=2)),
+            ctx(),
+        )
+        assert not set(alloc[1]) & set(alloc[2])
+
+    def test_pool_shrinks_when_demand_high(self):
+        policy = dbp()
+        alloc = policy.compute_allocation(
+            snap(
+                prof(0, blp=16),
+                prof(1, blp=16),
+                prof(2, blp=16),
+                prof(3, mpki=0.1),
+            ),
+            ctx(),
+        )
+        assert len(alloc[3]) == 1  # min pool
+
+
+class TestStability:
+    def test_prefers_previous_colors(self):
+        policy = dbp()
+        context = ctx()
+        snapshot = snap(*[prof(t, blp=2) for t in range(4)])
+        first = policy.compute_allocation(snapshot, context)
+        policy.last_allocation = first
+        second = policy.compute_allocation(snapshot, context)
+        for t in range(4):
+            assert set(first[t]) == set(second[t])
+
+    def test_smoothing_damps_demand_jump(self):
+        policy = DynamicBankPartitioning(
+            DBPConfig(demand_smoothing=0.9, hysteresis_colors=0)
+        )
+        context = ctx()
+        calm = snap(*[prof(t, blp=2) for t in range(4)])
+        policy.compute_allocation(calm, context)
+        spike = snap(
+            prof(0, blp=16), prof(1, blp=2), prof(2, blp=2), prof(3, blp=2)
+        )
+        alloc = policy.compute_allocation(spike, context)
+        # Heavy smoothing: thread 0's share grows only slightly.
+        assert len(alloc[0]) <= 4
+
+    def test_hysteresis_skips_marginal_changes(self):
+        world = make_world()
+        policy = DynamicBankPartitioning(
+            DBPConfig(demand_smoothing=0.0, hysteresis_colors=8)
+        )
+        policy.initialize(world)
+        before = dict(policy.last_allocation)
+        policy.on_epoch(snap(*[prof(t, blp=4) for t in range(2)]), world)
+        assert policy.last_allocation == before
+
+
+def make_world(num_threads=2, colors=4):
+    org = DRAMOrganization(
+        channels=2,
+        ranks_per_channel=1,
+        banks_per_rank=colors,
+        rows_per_bank=64,
+        row_size_bytes=8192,
+    )
+    amap = AddressMap(org, page_size=4096)
+    allocator = ColorAwareAllocator(amap)
+    tables = {t: PageTable(t, allocator, amap) for t in range(num_threads)}
+    migration = MigrationEngine(allocator, amap, 2, 1, mode="remap")
+    return PartitionContext(
+        allocator, amap, tables, migration, inject_copy_traffic=lambda plan: None
+    )
+
+
+class TestApplication:
+    def test_initialize_matches_equal_split(self):
+        world = make_world()
+        policy = dbp()
+        policy.initialize(world)
+        assert policy.last_allocation == {0: [0, 1], 1: [2, 3]}
+        assert world.allocator.thread_colors(0) == frozenset({0, 1})
+
+    def test_on_epoch_applies_and_migrates(self):
+        world = make_world()
+        policy = dbp()
+        policy.initialize(world)
+        # Thread 0 touches pages under the equal split.
+        for vpage in range(6):
+            world.page_tables[0].translate_line(vpage * 64)
+        snapshot = snap(prof(0, blp=8), prof(1, mpki=0.1))
+        policy.on_epoch(snapshot, world)
+        assert policy.stat_repartitions == 1
+        # Thread 0 now owns more colors; its pages were migrated to them.
+        colors0 = world.allocator.thread_colors(0)
+        assert len(colors0) == 3
+        for _v, frame in world.page_tables[0].mapped_pages():
+            assert world.address_map.frame_bank_color(frame) in colors0
+
+    def test_repartition_counter(self):
+        world = make_world()
+        policy = dbp()
+        policy.initialize(world)
+        snapshot = snap(prof(0, blp=8), prof(1, blp=1))
+        policy.on_epoch(snapshot, world)
+        policy.on_epoch(snapshot, world)
+        assert policy.stat_repartitions == 2
+
+
+class TestValidation:
+    def test_bad_epoch_rejected(self):
+        with pytest.raises(ConfigError):
+            DBPConfig(epoch_cycles=0)
+
+    def test_bad_smoothing_rejected(self):
+        with pytest.raises(ConfigError):
+            DBPConfig(demand_smoothing=1.0)
+
+    def test_bad_hysteresis_rejected(self):
+        with pytest.raises(ConfigError):
+            DBPConfig(hysteresis_colors=-1)
+
+    def test_bad_pool_rejected(self):
+        with pytest.raises(ConfigError):
+            DBPConfig(min_pool_colors=0)

@@ -1,0 +1,109 @@
+"""DDR3 timing preset tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.dram.timing import (
+    DDR3_1066,
+    DDR3_1333,
+    DDR3_1600,
+    DRAMTimings,
+    PRESETS,
+    preset,
+    scaled_timings,
+)
+from repro.errors import ConfigError
+
+
+class TestPresets:
+    @pytest.mark.parametrize("timings", [DDR3_1066, DDR3_1333, DDR3_1600])
+    def test_internal_consistency(self, timings):
+        assert timings.tRC >= timings.tRAS + timings.tRP
+        assert timings.tFAW >= timings.tRRD
+        assert timings.read_latency == timings.CL + timings.tBURST
+        assert timings.write_latency == timings.CWL + timings.tBURST
+
+    def test_faster_grades_have_more_cycles_of_cas(self):
+        # Absolute CAS time shrinks, but cycle counts grow with clock rate.
+        assert DDR3_1066.CL < DDR3_1333.CL < DDR3_1600.CL
+
+    def test_lookup_by_name(self):
+        assert preset("DDR3-1600") is DDR3_1600
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(ConfigError):
+            preset("DDR4-2400")
+
+    def test_registry_complete(self):
+        assert set(PRESETS) == {"DDR3-1066", "DDR3-1333", "DDR3-1600"}
+
+
+class TestScaling:
+    def test_identity_at_ratio_one(self):
+        assert scaled_timings(DDR3_1066, 1) is DDR3_1066
+
+    def test_all_timing_fields_multiplied(self):
+        scaled = scaled_timings(DDR3_1066, 4)
+        for field in dataclasses.fields(DDR3_1066):
+            if field.name in ("name", "tCK_ps"):
+                continue
+            assert getattr(scaled, field.name) == 4 * getattr(
+                DDR3_1066, field.name
+            )
+
+    def test_name_records_ratio(self):
+        assert "x4" in scaled_timings(DDR3_1066, 4).name
+
+    def test_tck_preserved(self):
+        assert scaled_timings(DDR3_1066, 4).tCK_ps == DDR3_1066.tCK_ps
+
+    def test_bad_ratio_rejected(self):
+        with pytest.raises(ConfigError):
+            scaled_timings(DDR3_1066, 0)
+
+
+class TestValidation:
+    def _args(self, **overrides):
+        base = dict(
+            name="test",
+            tCK_ps=1000,
+            CL=5,
+            CWL=4,
+            tBURST=4,
+            tRCD=5,
+            tRP=5,
+            tRAS=15,
+            tRC=20,
+            tRRD=3,
+            tFAW=12,
+            tCCD=4,
+            tRTP=3,
+            tWR=6,
+            tWTR=3,
+            tRTW=4,
+            tRTRS=2,
+            tREFI=3000,
+            tRFC=60,
+        )
+        base.update(overrides)
+        return base
+
+    def test_valid_construction(self):
+        DRAMTimings(**self._args())
+
+    def test_trc_must_cover_tras_plus_trp(self):
+        with pytest.raises(ConfigError):
+            DRAMTimings(**self._args(tRC=10))
+
+    def test_tfaw_must_cover_trrd(self):
+        with pytest.raises(ConfigError):
+            DRAMTimings(**self._args(tFAW=2))
+
+    def test_nonpositive_field_rejected(self):
+        with pytest.raises(ConfigError):
+            DRAMTimings(**self._args(CL=0))
+
+    def test_non_integer_field_rejected(self):
+        with pytest.raises(ConfigError):
+            DRAMTimings(**self._args(CL=5.5))

@@ -1,0 +1,110 @@
+"""Discrete-event engine tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+class TestOrdering:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(30, lambda c: fired.append(("b", c)))
+        engine.schedule(10, lambda c: fired.append(("a", c)))
+        engine.schedule(20, lambda c: fired.append(("m", c)))
+        engine.run()
+        assert fired == [("a", 10), ("m", 20), ("b", 30)]
+
+    def test_same_cycle_fifo(self):
+        engine = Engine()
+        fired = []
+        for tag in "abc":
+            engine.schedule(5, lambda c, t=tag: fired.append(t))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_callback_may_schedule_more(self):
+        engine = Engine()
+        fired = []
+
+        def chain(cycle):
+            fired.append(cycle)
+            if cycle < 50:
+                engine.schedule(cycle + 10, chain)
+
+        engine.schedule(0, chain)
+        engine.run()
+        assert fired == [0, 10, 20, 30, 40, 50]
+
+    def test_now_tracks_current_event(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(7, lambda c: seen.append(engine.now))
+        engine.run()
+        assert seen == [7]
+
+
+class TestBounds:
+    def test_horizon_stops_run(self):
+        engine = Engine(horizon=100)
+        fired = []
+        engine.schedule(50, lambda c: fired.append(c))
+        engine.schedule(150, lambda c: fired.append(c))
+        final = engine.run()
+        assert fired == [50]
+        assert final == 100
+        assert engine.pending_events() == 1
+
+    def test_until_overrides(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(50, lambda c: fired.append(c))
+        engine.run(until=10)
+        assert fired == []
+        engine.run()
+        assert fired == [50]
+
+    def test_event_at_bound_not_run(self):
+        engine = Engine(horizon=100)
+        fired = []
+        engine.schedule(100, lambda c: fired.append(c))
+        engine.run()
+        assert fired == []
+
+
+class TestErrors:
+    def test_scheduling_in_past_rejected(self):
+        engine = Engine()
+        errors = []
+
+        def bad(cycle):
+            try:
+                engine.schedule(cycle - 1, lambda c: None)
+            except SimulationError as error:
+                errors.append(error)
+
+        engine.schedule(10, bad)
+        engine.run()
+        assert errors
+
+    def test_reentrancy_rejected(self):
+        engine = Engine()
+        errors = []
+
+        def reenter(cycle):
+            try:
+                engine.run()
+            except SimulationError as error:
+                errors.append(error)
+
+        engine.schedule(1, reenter)
+        engine.run()
+        assert errors
+
+    def test_event_counter(self):
+        engine = Engine()
+        for i in range(5):
+            engine.schedule(i, lambda c: None)
+        engine.run()
+        assert engine.stat_events == 5

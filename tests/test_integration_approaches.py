@@ -1,0 +1,75 @@
+"""Approach registry tests (the partitioning x scheduling combinations)."""
+
+import pytest
+
+from repro.baselines import (
+    EqualBankPartitioning,
+    MemoryChannelPartitioning,
+    SharedPolicy,
+)
+from repro.core import APPROACHES, get_approach
+from repro.core.dbp import DynamicBankPartitioning
+from repro.errors import ConfigError
+
+
+class TestRegistry:
+    def test_paper_approaches_present(self):
+        expected = {
+            "shared-fcfs",
+            "shared-frfcfs",
+            "parbs",
+            "atlas",
+            "bliss",
+            "tcm",
+            "ebp",
+            "dbp",
+            "mcp",
+            "ebp-tcm",
+            "dbp-tcm",
+        }
+        assert expected <= set(APPROACHES)
+
+    def test_lookup(self):
+        approach = get_approach("dbp-tcm")
+        assert approach.policy == "dbp"
+        assert approach.scheduler == "tcm"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            get_approach("dbp-parbs")
+
+    def test_descriptions_nonempty(self):
+        for approach in APPROACHES.values():
+            assert approach.description
+
+
+class TestPolicyConstruction:
+    @pytest.mark.parametrize(
+        "name,policy_type",
+        [
+            ("shared-frfcfs", SharedPolicy),
+            ("ebp", EqualBankPartitioning),
+            ("dbp", DynamicBankPartitioning),
+            ("dbp-tcm", DynamicBankPartitioning),
+            ("mcp", MemoryChannelPartitioning),
+        ],
+    )
+    def test_make_policy_types(self, name, policy_type):
+        assert isinstance(get_approach(name).make_policy(), policy_type)
+
+    def test_policies_are_fresh_instances(self):
+        approach = get_approach("dbp")
+        a = approach.make_policy()
+        b = approach.make_policy()
+        assert a is not b  # no shared epoch state between runs
+
+    def test_scheduler_names_resolve(self):
+        from repro.memctrl.schedulers import make_scheduler
+
+        for approach in APPROACHES.values():
+            scheduler = make_scheduler(
+                approach.scheduler,
+                num_threads=4,
+                **approach.scheduler_params,
+            )
+            assert scheduler.num_threads == 4

@@ -1,0 +1,88 @@
+"""Metric math tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics import (
+    harmonic_speedup,
+    max_slowdown,
+    slowdowns,
+    summarize,
+    weighted_speedup,
+)
+
+
+ALONE = {0: 2.0, 1: 1.0}
+SHARED = {0: 1.0, 1: 0.5}
+
+
+class TestBasics:
+    def test_slowdowns(self):
+        assert slowdowns(ALONE, SHARED) == {0: 2.0, 1: 2.0}
+
+    def test_weighted_speedup(self):
+        assert weighted_speedup(ALONE, SHARED) == pytest.approx(1.0)
+
+    def test_max_slowdown(self):
+        shared = {0: 1.0, 1: 0.25}
+        assert max_slowdown(ALONE, shared) == pytest.approx(4.0)
+
+    def test_harmonic_speedup(self):
+        assert harmonic_speedup(ALONE, SHARED) == pytest.approx(0.5)
+
+    def test_no_interference_is_ideal(self):
+        assert weighted_speedup(ALONE, ALONE) == pytest.approx(2.0)
+        assert max_slowdown(ALONE, ALONE) == pytest.approx(1.0)
+        assert harmonic_speedup(ALONE, ALONE) == pytest.approx(1.0)
+
+    def test_summarize_bundles_all(self):
+        summary = summarize(ALONE, SHARED)
+        assert summary.weighted_speedup == pytest.approx(1.0)
+        assert summary.max_slowdown == pytest.approx(2.0)
+        assert summary.harmonic_speedup == pytest.approx(0.5)
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup({}, {})
+
+    def test_mismatched_threads_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup({0: 1.0}, {1: 1.0})
+
+    def test_zero_alone_ipc_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup({0: 0.0}, {0: 1.0})
+
+    def test_zero_shared_ipc_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup({0: 1.0}, {0: 0.0})
+
+
+class TestProperties:
+    @given(
+        st.dictionaries(
+            st.integers(0, 7),
+            st.tuples(st.floats(0.01, 10), st.floats(0.01, 10)),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_bounds(self, ipcs):
+        alone = {t: a for t, (a, _) in ipcs.items()}
+        shared = {t: s for t, (_, s) in ipcs.items()}
+        n = len(ipcs)
+        ws = weighted_speedup(alone, shared)
+        ms = max_slowdown(alone, shared)
+        hs = harmonic_speedup(alone, shared)
+        assert 0 < ws
+        assert ms >= max(1e-9, min(slowdowns(alone, shared).values()))
+        assert hs <= n / ms * n  # loose sanity bound
+        # HS is bounded by the worst thread's speedup times N.
+        assert hs <= n / ms + 1e-9 or n == 1
+
+    @given(st.dictionaries(st.integers(0, 7), st.floats(0.01, 10), min_size=1))
+    def test_identity_when_no_slowdown(self, alone):
+        assert max_slowdown(alone, alone) == pytest.approx(1.0)
+        assert weighted_speedup(alone, alone) == pytest.approx(len(alone))

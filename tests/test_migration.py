@@ -1,0 +1,127 @@
+"""Migration engine tests: both modes, hotness ordering, plan contents."""
+
+import pytest
+
+from repro.config import DRAMOrganization
+from repro.mapping import AddressMap
+from repro.osmm import ColorAwareAllocator, MigrationEngine, PageTable
+
+
+def make_world(mode="remap", budget=2, lines=2):
+    org = DRAMOrganization(
+        channels=2,
+        ranks_per_channel=1,
+        banks_per_rank=4,
+        rows_per_bank=64,
+        row_size_bytes=8192,
+    )
+    amap = AddressMap(org, page_size=4096)
+    allocator = ColorAwareAllocator(amap)
+    table = PageTable(0, allocator, amap)
+    engine = MigrationEngine(allocator, amap, budget, lines, mode=mode)
+    return table, allocator, amap, engine
+
+
+def touch_pages(table, count, per_page_accesses=None):
+    for vpage in range(count):
+        accesses = (per_page_accesses or {}).get(vpage, 1)
+        for _ in range(accesses):
+            table.translate_line(vpage * 64)
+
+
+class TestRemapMode:
+    def test_all_misplaced_pages_move(self):
+        table, allocator, amap, engine = make_world(mode="remap", budget=1)
+        allocator.set_thread_colors(0, {0})
+        touch_pages(table, 6)
+        plan = engine.migrate(table, frozenset({1}))
+        assert plan.moved_pages == 6
+        for vpage, _old, new in plan.moves:
+            assert amap.frame_bank_color(new) == 1
+            assert table.frame_of(vpage) == new
+
+    def test_copy_traffic_only_for_budget(self):
+        table, allocator, _, engine = make_world(mode="remap", budget=2, lines=3)
+        allocator.set_thread_colors(0, {0})
+        touch_pages(table, 5)
+        plan = engine.migrate(table, frozenset({1}))
+        assert plan.moved_pages == 5
+        assert len(plan.copy_lines) == 2 * 3  # budget pages x lines
+
+    def test_well_placed_pages_untouched(self):
+        table, allocator, _, engine = make_world()
+        allocator.set_thread_colors(0, {0, 1})
+        touch_pages(table, 4)
+        plan = engine.migrate(table, frozenset({0, 1}))
+        assert plan.moved_pages == 0
+        assert plan.copy_lines == []
+
+
+class TestBudgetMode:
+    def test_only_budget_pages_move(self):
+        table, allocator, _, engine = make_world(mode="budget", budget=2)
+        allocator.set_thread_colors(0, {0})
+        touch_pages(table, 6)
+        plan = engine.migrate(table, frozenset({1}))
+        assert plan.moved_pages == 2
+
+    def test_hottest_pages_move_first(self):
+        table, allocator, amap, engine = make_world(mode="budget", budget=1)
+        allocator.set_thread_colors(0, {0})
+        touch_pages(table, 4, per_page_accesses={2: 10})
+        plan = engine.migrate(table, frozenset({1}))
+        assert plan.moved_pages == 1
+        assert plan.moves[0][0] == 2  # the hot vpage
+
+    def test_zero_budget_is_noop(self):
+        table, allocator, _, engine = make_world(mode="budget", budget=0)
+        allocator.set_thread_colors(0, {0})
+        touch_pages(table, 3)
+        plan = engine.migrate(table, frozenset({1}))
+        assert plan.moved_pages == 0
+
+
+class TestPlacementRules:
+    def test_channel_preserved_when_allowed(self):
+        table, allocator, amap, engine = make_world()
+        allocator.set_thread_colors(0, {0})
+        touch_pages(table, 4)
+        before = {v: amap.frame_channel(f) for v, f in table.mapped_pages()}
+        engine.migrate(table, frozenset({2}))
+        after = {v: amap.frame_channel(f) for v, f in table.mapped_pages()}
+        assert before == after
+
+    def test_channel_constraint_enforced(self):
+        table, allocator, amap, engine = make_world()
+        touch_pages(table, 6)
+        engine.migrate(table, frozenset({0, 1, 2, 3}), frozenset({1}))
+        for _v, frame in table.mapped_pages():
+            assert amap.frame_channel(frame) == 1
+
+    def test_old_frames_freed_for_reuse(self):
+        table, allocator, amap, engine = make_world()
+        allocator.set_thread_colors(0, {0})
+        touch_pages(table, 2)
+        old = [f for _v, f in table.mapped_pages()]
+        engine.migrate(table, frozenset({1}))
+        freed = {
+            allocator.allocate_in(
+                amap.frame_channel(f), amap.frame_bank_color(f)
+            )
+            for f in old
+        }
+        assert set(old) == freed
+
+    def test_stat_accumulates(self):
+        table, allocator, _, engine = make_world()
+        allocator.set_thread_colors(0, {0})
+        touch_pages(table, 3)
+        engine.migrate(table, frozenset({1}))
+        touch_pages(table, 3)  # already mapped, no change
+        engine.migrate(table, frozenset({2}))
+        assert engine.stat_pages_moved == 6
+
+    def test_bad_mode_rejected(self):
+        table, allocator, amap, _ = make_world()
+        with pytest.raises(ValueError):
+            MigrationEngine(allocator, amap, 1, 1, mode="warp")

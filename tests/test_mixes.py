@@ -1,0 +1,46 @@
+"""Workload mix table tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads import MIXES, Mix, get_mix, get_profile, mixes_for_cores
+from repro.workloads.mixes import MAIN_MIXES
+
+
+class TestMixTable:
+    def test_main_mixes_are_four_core(self):
+        for name in MAIN_MIXES:
+            assert get_mix(name).num_cores == 4
+
+    def test_every_app_name_valid(self):
+        for mix in MIXES.values():
+            for app in mix.apps:
+                get_profile(app)  # raises on unknown names
+
+    def test_categories_match_intensive_counts(self):
+        # H<k> categories must actually contain k intensive apps.
+        for mix in MIXES.values():
+            if mix.category.startswith("H") and "L" in mix.category:
+                heavy = int(mix.category[1 : mix.category.index("L")])
+                assert mix.intensive_count() == heavy
+            elif mix.category in ("H2", "H4", "H8"):
+                assert mix.intensive_count() == mix.num_cores
+
+    def test_core_count_coverage(self):
+        assert len(mixes_for_cores(2)) >= 3
+        assert len(mixes_for_cores(4)) >= 10
+        assert len(mixes_for_cores(8)) >= 3
+        assert mixes_for_cores(16) == []
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(ConfigError):
+            get_mix("M99")
+
+    def test_mix_with_unknown_app_rejected(self):
+        with pytest.raises(ConfigError):
+            Mix("BAD", ("doom3",), "H1")
+
+    def test_intensity_spread_across_main_mixes(self):
+        counts = {get_mix(n).intensive_count() for n in MAIN_MIXES}
+        # The evaluation set spans light to all-heavy mixes.
+        assert {1, 2, 3, 4} <= counts

@@ -1,0 +1,71 @@
+"""Closed-page controller policy tests."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import ControllerConfig
+from repro.errors import ConfigError
+from repro.sim.system import System
+from repro.workloads import AppProfile, generate_trace
+
+
+def run(small_config, page_policy, seed=5):
+    controller = replace(small_config.controller, page_policy=page_policy)
+    config = replace(small_config, controller=controller)
+    profile = AppProfile("mixed", 20.0, 0.7, 3, 0.3, 1, burst=3)
+    traces = [
+        generate_trace(profile, seed=seed + t, target_insts=300_000)
+        for t in range(2)
+    ]
+    system = System(config, traces, horizon=20_000, validate=True)
+    result = system.run()
+    return system, result
+
+
+class TestClosedPage:
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            ControllerConfig(page_policy="ajar")
+
+    def test_closed_run_is_protocol_legal(self, small_config):
+        run(small_config, "closed")  # validate=True checks every command
+
+    def test_closed_lowers_row_hit_rate(self, small_config):
+        _, open_result = run(small_config, "open")
+        _, closed_result = run(small_config, "closed")
+        open_rbh = open_result.threads[0].row_hit_rate
+        closed_rbh = closed_result.threads[0].row_hit_rate
+        assert closed_rbh < open_rbh
+
+    def test_closed_issues_more_precharges(self, small_config):
+        sys_open, _ = run(small_config, "open")
+        sys_closed, _ = run(small_config, "closed")
+        def precharges(system):
+            return sum(
+                bank.stat_precharges
+                for channel in system.channels
+                for rank in channel.ranks
+                for bank in rank.banks
+            )
+        assert precharges(sys_closed) > precharges(sys_open)
+
+    def test_closed_banks_end_mostly_idle(self, small_config):
+        system, _ = run(small_config, "closed")
+        # The sweep closes stale rows; at most the very last requests'
+        # banks may still be open.
+        open_rows = sum(
+            rank.open_row_count()
+            for channel in system.channels
+            for rank in channel.ranks
+        )
+        total_banks = small_config.organization.total_banks
+        assert open_rows < total_banks
+
+    def test_both_policies_serve_all_requests(self, small_config):
+        sys_open, open_result = run(small_config, "open")
+        sys_closed, closed_result = run(small_config, "closed")
+        assert closed_result.threads[0].reads > 0
+        for system in (sys_open, sys_closed):
+            for controller in system.controllers:
+                assert controller.stats.reads_served > 0

@@ -1,0 +1,113 @@
+"""Page table tests: translation, faulting, remap, hotness."""
+
+import pytest
+
+from repro.config import DRAMOrganization
+from repro.errors import AllocationError
+from repro.mapping import AddressMap
+from repro.osmm import ColorAwareAllocator, PageTable
+
+
+@pytest.fixture
+def setup():
+    org = DRAMOrganization(
+        channels=2,
+        ranks_per_channel=1,
+        banks_per_rank=4,
+        rows_per_bank=64,
+        row_size_bytes=8192,
+    )
+    amap = AddressMap(org, page_size=4096)
+    allocator = ColorAwareAllocator(amap)
+    table = PageTable(0, allocator, amap)
+    return table, allocator, amap
+
+
+class TestTranslation:
+    def test_first_touch_faults(self, setup):
+        table, _, _ = setup
+        table.translate_line(0)
+        assert table.stat_faults == 1
+        assert table.resident_pages == 1
+
+    def test_same_page_no_second_fault(self, setup):
+        table, _, _ = setup
+        table.translate_line(0)
+        table.translate_line(63)  # same 64-line page
+        assert table.stat_faults == 1
+
+    def test_translation_stable(self, setup):
+        table, _, _ = setup
+        first = table.translate_line(100)
+        second = table.translate_line(100)
+        assert first == second
+
+    def test_offset_preserved(self, setup):
+        table, _, amap = setup
+        phys = table.translate_line(64 + 5)  # vpage 1, offset 5
+        assert phys & 63 == 5
+
+    def test_distinct_vpages_distinct_frames(self, setup):
+        table, _, _ = setup
+        a = table.translate_line(0) >> 6
+        b = table.translate_line(64) >> 6
+        assert a != b
+
+    def test_respects_thread_colors(self, setup):
+        table, allocator, amap = setup
+        allocator.set_thread_colors(0, {2})
+        for vline in range(0, 64 * 10, 64):
+            phys = table.translate_line(vline)
+            frame = phys >> amap.page_line_bits
+            assert amap.frame_bank_color(frame) == 2
+
+
+class TestHotness:
+    def test_access_counts(self, setup):
+        table, _, _ = setup
+        for _ in range(3):
+            table.translate_line(0)
+        table.translate_line(64)
+        assert table.access_count(0) == 3
+        assert table.access_count(1) == 1
+        assert table.access_count(99) == 0
+
+    def test_reset(self, setup):
+        table, _, _ = setup
+        table.translate_line(0)
+        table.reset_access_counts()
+        assert table.access_count(0) == 0
+        # Mapping survives the reset.
+        assert table.resident_pages == 1
+
+
+class TestRemap:
+    def test_remap_changes_frame(self, setup):
+        table, allocator, amap = setup
+        old_phys = table.translate_line(0)
+        new_frame = allocator.allocate_in(0, 3)
+        old_frame = table.remap(0, new_frame)
+        assert old_frame == old_phys >> amap.page_line_bits
+        assert table.translate_line(0) >> amap.page_line_bits == new_frame
+        assert table.frame_of(0) == new_frame
+
+    def test_remap_unmapped_rejected(self, setup):
+        table, allocator, _ = setup
+        frame = allocator.allocate_in(0, 0)
+        with pytest.raises(AllocationError):
+            table.remap(5, frame)
+
+    def test_remap_to_used_frame_rejected(self, setup):
+        table, allocator, _ = setup
+        table.translate_line(0)
+        frame0 = table.frame_of(0)
+        table.translate_line(64)
+        with pytest.raises(AllocationError):
+            table.remap(1, frame0)
+
+    def test_mapped_pages_iteration(self, setup):
+        table, _, _ = setup
+        table.translate_line(0)
+        table.translate_line(64)
+        pages = dict(table.mapped_pages())
+        assert set(pages) == {0, 1}

@@ -1,0 +1,97 @@
+"""DRAM energy model tests."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.dram.power import (
+    DDR3_1066_POWER,
+    POWER_PRESETS,
+    PowerParams,
+    estimate_energy,
+)
+from repro.errors import ConfigError
+from repro.sim.system import System
+from repro.workloads import AppProfile, generate_trace
+
+
+def run_small(small_config, page_policy=None, horizon=20_000):
+    config = replace(small_config, num_cores=1)
+    if page_policy is not None:
+        config = replace(
+            config, controller=replace(config.controller, page_policy=page_policy)
+        )
+    profile = AppProfile("load", 25.0, 0.7, 3, 0.3, 1, burst=3)
+    trace = generate_trace(profile, seed=3, target_insts=300_000)
+    system = System(config, [trace], horizon=horizon)
+    system.run()
+    return system
+
+
+class TestParams:
+    def test_presets_exist_for_all_timing_grades(self):
+        assert set(POWER_PRESETS) == {"DDR3-1066", "DDR3-1333", "DDR3-1600"}
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ConfigError):
+            PowerParams("bad", -1.0, 1.0, 1.0, 1.0, 1.0)
+
+
+class TestEstimation:
+    def test_breakdown_sums_to_total(self, small_config):
+        system = run_small(small_config)
+        report = estimate_energy(system)
+        assert report.total_nj == pytest.approx(
+            report.activate_nj
+            + report.read_nj
+            + report.write_nj
+            + report.refresh_nj
+            + report.background_nj
+        )
+        assert report.dynamic_nj > 0
+        assert report.background_nj > 0
+
+    def test_energy_tracks_command_counts(self, small_config):
+        system = run_small(small_config)
+        report = estimate_energy(system, DDR3_1066_POWER)
+        activates = sum(
+            bank.stat_activates
+            for ch in system.channels
+            for rank in ch.ranks
+            for bank in rank.banks
+        )
+        expected = activates * DDR3_1066_POWER.activate_precharge_nj
+        assert report.activate_nj == pytest.approx(expected)
+
+    def test_closed_page_costs_more_activate_energy(self, small_config):
+        open_sys = run_small(small_config, page_policy="open")
+        closed_sys = run_small(small_config, page_policy="closed")
+        open_report = estimate_energy(open_sys)
+        closed_report = estimate_energy(closed_sys)
+        assert closed_report.activate_nj > open_report.activate_nj
+
+    def test_background_scales_with_time(self, small_config):
+        short = estimate_energy(run_small(small_config, horizon=10_000))
+        long = estimate_energy(run_small(small_config, horizon=20_000))
+        assert long.background_nj == pytest.approx(
+            2 * short.background_nj, rel=0.01
+        )
+
+    def test_per_channel_breakdown(self, small_config):
+        system = run_small(small_config)
+        report = estimate_energy(system)
+        assert set(report.per_channel_nj) == {0}
+        assert report.per_channel_nj[0] == pytest.approx(report.dynamic_nj)
+
+    def test_render_mentions_total(self, small_config):
+        report = estimate_energy(run_small(small_config))
+        text = report.render()
+        assert "total" in text
+        assert "mJ" in text
+
+    def test_explicit_params_override_preset(self, small_config):
+        system = run_small(small_config)
+        custom = PowerParams("custom", 100.0, 0.0, 0.0, 0.0, 0.0)
+        report = estimate_energy(system, custom)
+        assert report.read_nj == 0.0
+        assert report.activate_nj > 0

@@ -1,0 +1,136 @@
+"""Stride prefetcher tests: training, emission, page bounding, system path."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import PrefetcherConfig
+from repro.cpu.prefetcher import StridePrefetcher
+from repro.errors import ConfigError
+from repro.sim.system import System
+from repro.workloads import AppProfile, generate_trace
+
+
+def enabled(**overrides):
+    base = dict(enabled=True, degree=2, distance=2, table_entries=4)
+    base.update(overrides)
+    return PrefetcherConfig(**base)
+
+
+class TestTraining:
+    def test_disabled_emits_nothing(self):
+        pf = StridePrefetcher(PrefetcherConfig(enabled=False))
+        for vline in range(10):
+            assert pf.observe(vline) == []
+
+    def test_needs_two_stride_confirmations(self):
+        pf = StridePrefetcher(enabled())
+        assert pf.observe(0) == []  # allocate entry
+        assert pf.observe(1) == []  # first stride observation
+        assert pf.observe(2) != []  # second confirmation -> trained
+
+    def test_unit_stride_targets(self):
+        pf = StridePrefetcher(enabled(degree=2, distance=2))
+        for vline in range(4):
+            out = pf.observe(vline)
+        assert out == [5, 6]  # vline 3 + stride*(2, 3)
+
+    def test_larger_stride(self):
+        pf = StridePrefetcher(enabled(degree=1, distance=1))
+        out = []
+        for vline in (0, 4, 8, 12):
+            out = pf.observe(vline)
+        assert out == [16]
+
+    def test_stride_change_resets_confidence(self):
+        pf = StridePrefetcher(enabled())
+        for vline in (0, 1, 2, 3):
+            pf.observe(vline)
+        assert pf.observe(10) == []  # broken stride
+        assert pf.observe(11) == []  # retrain (confidence 1->2 needs one more)
+
+    def test_zero_stride_never_trains(self):
+        pf = StridePrefetcher(enabled())
+        for _ in range(5):
+            out = pf.observe(7)
+        assert out == []
+
+
+class TestPageBounding:
+    def test_prefetch_stops_at_page_boundary(self):
+        pf = StridePrefetcher(enabled(degree=4, distance=1))
+        out = []
+        for vline in range(60, 64):  # approach the 64-line page end
+            out = pf.observe(vline)
+        assert all(target < 64 for target in out)
+
+    def test_regions_tracked_independently(self):
+        pf = StridePrefetcher(enabled(degree=1, distance=1))
+        # Interleave two streams in different pages.
+        out_a = out_b = []
+        for i in range(4):
+            out_a = pf.observe(0 + i)
+            out_b = pf.observe(128 + i)
+        assert out_a and out_b
+
+    def test_table_evicts_lru(self):
+        pf = StridePrefetcher(enabled(table_entries=2))
+        pf.observe(0)  # region 0
+        pf.observe(64)  # region 1
+        pf.observe(128)  # region 2 evicts region 0
+        assert 0 not in pf._table
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "field", ["degree", "distance", "table_entries"]
+    )
+    def test_nonpositive_rejected(self, field):
+        with pytest.raises(ConfigError):
+            PrefetcherConfig(**{field: 0})
+
+
+class TestSystemIntegration:
+    def _run(self, small_config, pf_config, seed=3):
+        config = replace(small_config, num_cores=1, prefetcher=pf_config)
+        profile = AppProfile("stream", 25.0, 0.95, 1, 0.1, 1, burst=2)
+        trace = generate_trace(profile, seed=seed, target_insts=300_000)
+        system = System(config, [trace], horizon=25_000, validate=True)
+        result = system.run()
+        return system, result
+
+    def test_prefetching_improves_streaming_ipc(self, small_config):
+        _, off = self._run(small_config, PrefetcherConfig(enabled=False))
+        _, on = self._run(
+            small_config, PrefetcherConfig(enabled=True, degree=4, distance=2)
+        )
+        assert on.threads[0].ipc > off.threads[0].ipc
+
+    def test_prefetch_traffic_is_protocol_legal(self, small_config):
+        # validate=True in _run already asserts this; reaching here = pass.
+        self._run(
+            small_config, PrefetcherConfig(enabled=True, degree=4, distance=2)
+        )
+
+    def test_prefetch_increases_memory_traffic(self, small_config):
+        sys_off, off = self._run(small_config, PrefetcherConfig(enabled=False))
+        sys_on, on = self._run(
+            small_config, PrefetcherConfig(enabled=True, degree=4, distance=2)
+        )
+        reads_off = sum(c.stats.reads_served for c in sys_off.controllers)
+        reads_on = sum(c.stats.reads_served for c in sys_on.controllers)
+        # More reads per retired instruction with the prefetcher on.
+        assert reads_on / max(1, on.threads[0].retired_insts) > (
+            reads_off / max(1, off.threads[0].retired_insts)
+        ) * 0.95
+
+    def test_no_inflight_leak(self, small_config):
+        system, _ = self._run(
+            small_config, PrefetcherConfig(enabled=True, degree=4, distance=2)
+        )
+        # Every prefetch outstanding at the end is still tracked; nothing
+        # negative or duplicated.
+        assert all(
+            isinstance(waiters, list)
+            for waiters in system._prefetch_inflight.values()
+        )

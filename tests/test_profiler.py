@@ -1,0 +1,176 @@
+"""Thread profiler tests: MPKI, RBH, BLP integrals, epoch reset."""
+
+import pytest
+
+from repro.core.profiler import ThreadProfiler
+from repro.mapping import MemLocation
+from repro.memctrl.request import Request
+
+
+def req(thread=0, bank=0, write=False, migration=False):
+    return Request(
+        thread_id=thread,
+        is_write=write,
+        line_addr=0,
+        loc=MemLocation(channel=0, rank=0, bank=bank, row=0, col=0),
+        arrival=0,
+        is_migration=migration,
+    )
+
+
+class Retired:
+    """Mutable retirement counter stand-in for the cores."""
+
+    def __init__(self):
+        self.values = {0: 0, 1: 0}
+
+    def __call__(self, thread_id):
+        return self.values[thread_id]
+
+
+@pytest.fixture
+def setup():
+    retired = Retired()
+    profiler = ThreadProfiler(
+        num_threads=2, burst_cycles=4, retired_insts_of=retired
+    )
+    return profiler, retired
+
+
+class TestMPKI:
+    def test_requests_over_kiloinsts(self, setup):
+        profiler, retired = setup
+        for _ in range(20):
+            profiler.on_arrival(req(0), 0)
+        retired.values[0] = 2000
+        snap = profiler.snapshot(1000)
+        assert snap.profile(0).mpki == pytest.approx(10.0)
+
+    def test_zero_insts_gives_zero_mpki(self, setup):
+        profiler, _ = setup
+        profiler.on_arrival(req(0), 0)
+        assert profiler.snapshot(100).profile(0).mpki == 0.0
+
+    def test_mpki_is_per_epoch(self, setup):
+        profiler, retired = setup
+        for _ in range(10):
+            profiler.on_arrival(req(0), 0)
+        retired.values[0] = 1000
+        profiler.snapshot(500)
+        # Second epoch: no requests, 1000 more insts.
+        retired.values[0] = 2000
+        assert profiler.snapshot(1000).profile(0).mpki == 0.0
+
+
+class TestRBH:
+    def test_hit_rate(self, setup):
+        profiler, _ = setup
+        requests = [req(0) for _ in range(4)]
+        for r in requests:
+            profiler.on_arrival(r, 0)
+        for i, r in enumerate(requests):
+            profiler.on_cas(r, 10 + i, row_hit=(i % 2 == 0))
+        assert profiler.snapshot(100).profile(0).rbh == pytest.approx(0.5)
+
+    def test_no_served_gives_zero(self, setup):
+        profiler, _ = setup
+        assert profiler.snapshot(100).profile(0).rbh == 0.0
+
+
+class TestBLP:
+    def test_single_bank_blp_is_one(self, setup):
+        profiler, _ = setup
+        r = req(0, bank=0)
+        profiler.on_arrival(r, 0)
+        profiler.on_cas(r, 100, False)
+        assert profiler.snapshot(200).profile(0).blp == pytest.approx(1.0)
+
+    def test_two_banks_concurrent_blp_is_two(self, setup):
+        profiler, _ = setup
+        a, b = req(0, bank=0), req(0, bank=1)
+        profiler.on_arrival(a, 0)
+        profiler.on_arrival(b, 0)
+        profiler.on_cas(a, 100, False)
+        profiler.on_cas(b, 100, False)
+        assert profiler.snapshot(200).profile(0).blp == pytest.approx(2.0)
+
+    def test_blp_time_weighted(self, setup):
+        profiler, _ = setup
+        a, b = req(0, bank=0), req(0, bank=1)
+        profiler.on_arrival(a, 0)
+        profiler.on_arrival(b, 0)
+        profiler.on_cas(b, 50, False)  # two banks for 50 cycles
+        profiler.on_cas(a, 150, False)  # one bank for 100 cycles
+        # Integral = 2*50 + 1*100 = 200 over 150 active cycles.
+        assert profiler.snapshot(200).profile(0).blp == pytest.approx(200 / 150)
+
+    def test_multiple_requests_same_bank_count_once(self, setup):
+        profiler, _ = setup
+        a, b = req(0, bank=0), req(0, bank=0)
+        profiler.on_arrival(a, 0)
+        profiler.on_arrival(b, 0)
+        profiler.on_cas(a, 100, False)
+        profiler.on_cas(b, 120, False)
+        assert profiler.snapshot(200).profile(0).blp == pytest.approx(1.0)
+
+    def test_threads_independent(self, setup):
+        profiler, _ = setup
+        a, b = req(0, bank=0), req(1, bank=1)
+        profiler.on_arrival(a, 0)
+        profiler.on_arrival(b, 0)
+        profiler.on_cas(a, 100, False)
+        profiler.on_cas(b, 100, False)
+        snap = profiler.snapshot(200)
+        assert snap.profile(0).blp == pytest.approx(1.0)
+        assert snap.profile(1).blp == pytest.approx(1.0)
+
+
+class TestBandwidth:
+    def test_service_fraction(self, setup):
+        profiler, _ = setup
+        requests = [req(0) for _ in range(5)]
+        for r in requests:
+            profiler.on_arrival(r, 0)
+        for r in requests:
+            profiler.on_cas(r, 50, False)
+        # 5 requests x 4 burst cycles over a 100-cycle epoch.
+        assert profiler.snapshot(100).profile(0).bandwidth == pytest.approx(0.2)
+
+
+class TestMigrationExclusion:
+    def test_migration_traffic_ignored(self, setup):
+        profiler, _ = setup
+        r = req(0, migration=True)
+        profiler.on_arrival(r, 0)
+        profiler.on_cas(r, 50, True)
+        snap = profiler.snapshot(100)
+        assert snap.profile(0).requests == 0
+        assert snap.profile(0).bandwidth == 0.0
+
+
+class TestEpochBoundary:
+    def test_counters_reset(self, setup):
+        profiler, retired = setup
+        r = req(0)
+        profiler.on_arrival(r, 0)
+        profiler.on_cas(r, 10, True)
+        retired.values[0] = 1000
+        profiler.snapshot(100)
+        snap = profiler.snapshot(200)
+        assert snap.profile(0).requests == 0
+        assert snap.profile(0).rbh == 0.0
+
+    def test_outstanding_state_carries_over(self, setup):
+        profiler, _ = setup
+        r = req(0, bank=0)
+        profiler.on_arrival(r, 0)
+        profiler.snapshot(100)  # request still outstanding
+        profiler.on_cas(r, 150, False)
+        # 50 active cycles in the second epoch, one bank.
+        assert profiler.snapshot(200).profile(0).blp == pytest.approx(1.0)
+
+    def test_unknown_thread_gets_zero_profile(self, setup):
+        profiler, _ = setup
+        snap = profiler.snapshot(100)
+        ghost = snap.profile(42)
+        assert ghost.mpki == 0.0 and ghost.requests == 0

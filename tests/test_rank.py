@@ -1,0 +1,87 @@
+"""Rank-level constraint tests: tRRD, tFAW, and refresh."""
+
+import pytest
+
+from repro.dram.rank import Rank
+from repro.errors import ProtocolError
+
+
+@pytest.fixture
+def rank(timings):
+    return Rank(channel_id=0, rank_id=0, num_banks=8, timings=timings)
+
+
+class TestActivationWindows:
+    def test_trrd_spacing(self, rank, timings):
+        rank.record_activate(0)
+        assert rank.activate_ready_at() == timings.tRRD
+
+    def test_trrd_violation_rejected(self, rank, timings):
+        rank.record_activate(0)
+        with pytest.raises(ProtocolError):
+            rank.record_activate(timings.tRRD - 1)
+
+    def test_tfaw_allows_four(self, rank, timings):
+        for i in range(4):
+            rank.record_activate(i * timings.tRRD)
+        # Fifth must wait for the tFAW window.
+        assert rank.activate_ready_at() >= timings.tFAW
+
+    def test_tfaw_violation_rejected(self, rank, timings):
+        for i in range(4):
+            rank.record_activate(i * timings.tRRD)
+        fifth = max(3 * timings.tRRD + timings.tRRD, timings.tFAW - 1)
+        if fifth < timings.tFAW:
+            with pytest.raises(ProtocolError):
+                rank.record_activate(fifth)
+
+    def test_tfaw_window_slides(self, rank, timings):
+        times = [0, timings.tRRD, 2 * timings.tRRD, 3 * timings.tRRD]
+        for t in times:
+            rank.record_activate(t)
+        fifth = times[0] + timings.tFAW
+        rank.record_activate(max(fifth, times[-1] + timings.tRRD))
+        # Sixth constrained by the window starting at times[1].
+        assert rank.activate_ready_at() >= times[1] + timings.tFAW
+
+
+class TestRefresh:
+    def test_refresh_due_schedule(self, rank, timings):
+        assert not rank.refresh_pending(timings.tREFI - 1)
+        assert rank.refresh_pending(timings.tREFI)
+
+    def test_refresh_blocks_banks_for_trfc(self, rank, timings):
+        done = rank.refresh(timings.tREFI)
+        assert done == timings.tREFI + timings.tRFC
+        for bank in rank.banks:
+            assert bank.activate_ready_at() >= done
+
+    def test_refresh_schedule_does_not_drift(self, rank, timings):
+        # A late refresh still leaves the next one anchored to the grid.
+        rank.refresh(timings.tREFI + 500)
+        assert rank.next_refresh_due == 2 * timings.tREFI
+
+    def test_refresh_with_open_bank_rejected(self, rank, timings):
+        rank.banks[0].activate(0, 5)
+        with pytest.raises(ProtocolError):
+            rank.refresh(timings.tREFI)
+
+    def test_refresh_disabled(self, timings):
+        rank = Rank(0, 0, 4, timings, refresh_enabled=False)
+        assert not rank.refresh_pending(10**12)
+        with pytest.raises(ProtocolError):
+            rank.refresh(100)
+
+    def test_refresh_counter(self, rank, timings):
+        rank.refresh(timings.tREFI)
+        rank.refresh(2 * timings.tREFI)
+        assert rank.stat_refreshes == 2
+
+
+class TestIntrospection:
+    def test_open_row_count(self, rank, timings):
+        assert rank.open_row_count() == 0
+        rank.banks[0].activate(0, 1)
+        rank.banks[3].activate(timings.tRRD, 2)
+        assert rank.open_row_count() == 2
+        assert not rank.all_banks_idle()

@@ -1,0 +1,96 @@
+"""Experiment runner tests."""
+
+import pytest
+
+from repro.core.dbp import DBPConfig, DynamicBankPartitioning
+from repro.errors import ExperimentError
+from repro.workloads import Mix
+
+
+@pytest.fixture
+def mix():
+    return Mix("TEST", ("lbm", "gcc"), "H1L1")
+
+
+class TestTraceCache:
+    def test_traces_cached(self, fast_runner):
+        a = fast_runner.trace_for("lbm")
+        b = fast_runner.trace_for("lbm")
+        assert a is b
+
+    def test_traces_seeded(self, fast_runner):
+        assert fast_runner.trace_for("lbm").name == "lbm"
+
+
+class TestAloneRuns:
+    def test_alone_ipc_positive_and_cached(self, fast_runner):
+        first = fast_runner.alone_ipc("lbm")
+        assert first > 0
+        assert fast_runner.alone_ipc("lbm") == first
+        assert "lbm" in fast_runner._alone_cache
+
+    def test_light_app_faster_alone(self, fast_runner):
+        assert fast_runner.alone_ipc("gcc") > fast_runner.alone_ipc("lbm")
+
+
+class TestRunApps:
+    def test_metrics_populated(self, fast_runner, mix):
+        result = fast_runner.run_mix(mix, "shared-frfcfs")
+        metrics = result.metrics
+        assert metrics.mix == "TEST"
+        assert metrics.approach == "shared-frfcfs"
+        assert metrics.weighted_speedup > 0
+        assert metrics.max_slowdown >= 1.0 or metrics.max_slowdown > 0
+        assert set(metrics.slowdowns) == {0, 1}
+        assert metrics.apps == ("lbm", "gcc")
+        assert set(result.alone_ipcs) == {0, 1}
+        assert set(result.shared_ipcs) == {0, 1}
+
+    def test_run_cache_reuses_results(self, fast_runner, mix):
+        a = fast_runner.run_mix(mix, "shared-frfcfs")
+        b = fast_runner.run_mix(mix, "shared-frfcfs")
+        assert a is b
+
+    def test_different_approaches_not_conflated(self, fast_runner, mix):
+        a = fast_runner.run_mix(mix, "shared-frfcfs")
+        b = fast_runner.run_mix(mix, "ebp")
+        assert a is not b
+        assert b.metrics.approach == "ebp"
+
+    def test_unknown_approach_rejected(self, fast_runner, mix):
+        with pytest.raises(Exception):
+            fast_runner.run_mix(mix, "nonsense")
+
+    def test_default_mix_name_joins_apps(self, fast_runner):
+        result = fast_runner.run_apps(["lbm", "gcc"], "shared-frfcfs")
+        assert result.metrics.mix == "lbm+gcc"
+
+
+class TestRunCustom:
+    def test_custom_policy_run(self, fast_runner):
+        policy = DynamicBankPartitioning(DBPConfig(epoch_cycles=5_000))
+        result = fast_runner.run_custom(
+            ["lbm", "gcc"], policy, label="dbp-test"
+        )
+        assert result.metrics.approach == "dbp-test"
+        assert result.metrics.weighted_speedup > 0
+
+    def test_custom_scheduler_params(self, fast_runner):
+        from repro.baselines import SharedPolicy
+
+        result = fast_runner.run_custom(
+            ["lbm", "gcc"],
+            SharedPolicy(),
+            scheduler="tcm",
+            label="tcm-wide",
+            cluster_fraction=0.3,
+        )
+        assert result.metrics.weighted_speedup > 0
+
+
+class TestValidation:
+    def test_bad_horizon_rejected(self, small_config):
+        from repro.sim.runner import Runner
+
+        with pytest.raises(ExperimentError):
+            Runner(config=small_config, horizon=0)

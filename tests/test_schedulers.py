@@ -1,0 +1,334 @@
+"""Scheduler policy unit tests (ordering logic, clustering, batching)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mapping import MemLocation
+from repro.memctrl.request import Request
+from repro.memctrl.schedulers import (
+    ATLASScheduler,
+    BLISSScheduler,
+    FCFSScheduler,
+    FRFCFSScheduler,
+    PARBSScheduler,
+    TCMScheduler,
+    make_scheduler,
+    scheduler_names,
+)
+from repro.memctrl.schedulers.base import ProfileSnapshot, ThreadProfile
+
+
+def req(thread=0, bank=0, row=0, arrival=0, write=False):
+    return Request(
+        thread_id=thread,
+        is_write=write,
+        line_addr=0,
+        loc=MemLocation(channel=0, rank=0, bank=bank, row=row, col=0),
+        arrival=arrival,
+    )
+
+
+def profile(thread, mpki=10.0, rbh=0.5, blp=2.0, bandwidth=0.2, requests=100):
+    return ThreadProfile(thread, mpki, rbh, blp, bandwidth, requests)
+
+
+def snapshot(profiles, cycle=0):
+    return ProfileSnapshot(cycle=cycle, threads={p.thread_id: p for p in profiles})
+
+
+class TestRegistry:
+    def test_all_names_present(self):
+        assert scheduler_names() == [
+            "atlas",
+            "bliss",
+            "fcfs",
+            "frfcfs",
+            "parbs",
+            "tcm",
+        ]
+
+    def test_make_by_name(self):
+        assert isinstance(make_scheduler("tcm", num_threads=4), TCMScheduler)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            make_scheduler("magic", num_threads=4)
+
+    def test_params_forwarded(self):
+        sched = make_scheduler("tcm", num_threads=4, cluster_fraction=0.25)
+        assert sched.cluster_fraction == 0.25
+
+
+class TestFCFS:
+    def test_orders_by_arrival_only(self):
+        sched = FCFSScheduler(num_threads=2)
+        older = req(arrival=5)
+        newer = req(arrival=9)
+        assert sched.key(older, False, 100) < sched.key(newer, True, 100)
+
+
+class TestFRFCFS:
+    def test_row_hit_beats_age(self):
+        sched = FRFCFSScheduler(num_threads=2)
+        old_miss = req(arrival=1)
+        young_hit = req(arrival=50)
+        assert sched.key(young_hit, True, 100) < sched.key(old_miss, False, 100)
+
+    def test_age_breaks_hit_ties(self):
+        sched = FRFCFSScheduler(num_threads=2)
+        a = req(arrival=1)
+        b = req(arrival=2)
+        assert sched.key(a, True, 100) < sched.key(b, True, 100)
+
+
+class TestATLAS:
+    def test_less_served_thread_wins(self):
+        sched = ATLASScheduler(num_threads=2)
+        for _ in range(10):
+            sched.on_served(req(thread=0), 0)
+        sched.on_quantum(snapshot([profile(0), profile(1)]))
+        assert sched.attained_service(0) > sched.attained_service(1)
+        key0 = sched.key(req(thread=0, arrival=0), False, 0)
+        key1 = sched.key(req(thread=1, arrival=5), False, 0)
+        assert key1 < key0
+
+    def test_history_decays(self):
+        sched = ATLASScheduler(num_threads=1, alpha=0.5)
+        for _ in range(10):
+            sched.on_served(req(thread=0), 0)
+        sched.on_quantum(snapshot([profile(0)]))
+        first = sched.attained_service(0)
+        for _ in range(4):
+            sched.on_quantum(snapshot([profile(0)]))
+        assert sched.attained_service(0) < first / 4
+
+    def test_migration_traffic_not_charged(self):
+        sched = ATLASScheduler(num_threads=1)
+        request = req(thread=0)
+        request.is_migration = True
+        sched.on_served(request, 0)
+        sched.on_quantum(snapshot([profile(0)]))
+        assert sched.attained_service(0) == 0.0
+
+
+class TestPARBS:
+    def _attach(self, sched, requests):
+        class FakeController:
+            def __init__(self, reads):
+                self.read_queue = reads
+
+        sched.attach_controller(FakeController(requests))
+
+    def test_batch_marks_oldest_per_thread_bank(self):
+        sched = PARBSScheduler(num_threads=2, marking_cap=2)
+        requests = [req(thread=0, bank=0, arrival=i) for i in range(5)]
+        self._attach(sched, requests)
+        keys = {r.req_id: sched.key(r, False, 0) for r in requests}
+        marked = [r for r in requests if keys[r.req_id][0] == 0]
+        assert len(marked) == 2
+        assert {r.arrival for r in marked} == {0, 1}
+
+    def test_marked_beats_unmarked(self):
+        sched = PARBSScheduler(num_threads=2, marking_cap=1)
+        old = req(thread=0, bank=0, arrival=0)
+        young = req(thread=0, bank=0, arrival=1)
+        self._attach(sched, [old, young])
+        assert sched.key(old, False, 0) < sched.key(young, True, 0)
+
+    def test_shortest_job_ranked_first(self):
+        sched = PARBSScheduler(num_threads=2, marking_cap=5)
+        heavy = [req(thread=0, bank=0, arrival=i) for i in range(4)]
+        light = [req(thread=1, bank=1, arrival=10)]
+        self._attach(sched, heavy + light)
+        sched.key(heavy[0], False, 0)  # trigger batch formation
+        assert sched._thread_rank[1] < sched._thread_rank[0]
+
+    def test_new_batch_when_drained(self):
+        sched = PARBSScheduler(num_threads=1, marking_cap=5)
+        first = req(thread=0, bank=0, arrival=0)
+        self._attach(sched, [first])
+        sched.key(first, False, 0)
+        assert sched.stat_batches == 1
+        sched.on_served(first, 10)
+        later = req(thread=0, bank=0, arrival=20)
+        self._attach(sched, [later])
+        sched.key(later, False, 20)
+        assert sched.stat_batches >= 2
+
+
+class TestBLISS:
+    def test_streak_triggers_blacklist(self):
+        sched = BLISSScheduler(num_threads=2, blacklist_threshold=3)
+        for _ in range(3):
+            sched.on_served(req(thread=0), 100)
+        assert sched.blacklisted() == {0}
+        assert sched.stat_blacklistings == 1
+
+    def test_streak_broken_by_other_thread(self):
+        sched = BLISSScheduler(num_threads=2, blacklist_threshold=3)
+        sched.on_served(req(thread=0), 100)
+        sched.on_served(req(thread=0), 110)
+        sched.on_served(req(thread=1), 120)  # breaks the streak
+        sched.on_served(req(thread=0), 130)
+        assert sched.blacklisted() == set()
+
+    def test_blacklisted_thread_loses_priority(self):
+        sched = BLISSScheduler(num_threads=2, blacklist_threshold=2)
+        for _ in range(2):
+            sched.on_served(req(thread=0), 100)
+        listed = sched.key(req(thread=0, arrival=0), True, 200)
+        clean = sched.key(req(thread=1, arrival=50), False, 200)
+        assert clean < listed  # even a row miss of a clean thread wins
+
+    def test_blacklist_cleared_periodically(self):
+        sched = BLISSScheduler(
+            num_threads=2, blacklist_threshold=2, clearing_interval=1_000
+        )
+        for _ in range(2):
+            sched.on_served(req(thread=0), 100)
+        assert sched.blacklisted() == {0}
+        sched.key(req(thread=0), False, 1_500)  # next interval
+        assert sched.blacklisted() == set()
+
+    def test_migration_traffic_ignored(self):
+        sched = BLISSScheduler(num_threads=1, blacklist_threshold=2)
+        request = req(thread=0)
+        request.is_migration = True
+        for _ in range(5):
+            sched.on_served(request, 100)
+        assert sched.blacklisted() == set()
+
+    def test_bad_params_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            BLISSScheduler(num_threads=2, blacklist_threshold=0)
+        with pytest.raises(ConfigError):
+            BLISSScheduler(num_threads=2, clearing_interval=0)
+
+
+class TestTCMClustering:
+    def test_low_mpki_threads_in_latency_cluster(self):
+        sched = TCMScheduler(num_threads=4, cluster_fraction=0.2)
+        sched.on_quantum(
+            snapshot(
+                [
+                    profile(0, mpki=0.2, bandwidth=0.01),
+                    profile(1, mpki=25, bandwidth=0.5),
+                    profile(2, mpki=30, bandwidth=0.5),
+                    profile(3, mpki=0.4, bandwidth=0.02),
+                ]
+            )
+        )
+        assert set(sched.latency_cluster()) == {0, 3}
+        assert set(sched.bandwidth_cluster()) == {1, 2}
+
+    def test_all_heavy_gives_empty_latency_cluster(self):
+        sched = TCMScheduler(num_threads=2, cluster_fraction=0.1)
+        sched.on_quantum(
+            snapshot(
+                [
+                    profile(0, mpki=25, bandwidth=0.5),
+                    profile(1, mpki=30, bandwidth=0.5),
+                ]
+            )
+        )
+        assert sched.latency_cluster() == []
+
+    def test_latency_cluster_outranks_bandwidth(self):
+        sched = TCMScheduler(num_threads=2, cluster_fraction=0.2)
+        sched.on_quantum(
+            snapshot(
+                [
+                    profile(0, mpki=0.1, bandwidth=0.01),
+                    profile(1, mpki=30, bandwidth=0.9),
+                ]
+            )
+        )
+        latency_key = sched.key(req(thread=0, arrival=100), False, 0)
+        bandwidth_key = sched.key(req(thread=1, arrival=0), True, 0)
+        assert latency_key < bandwidth_key
+
+    def test_shuffle_changes_ranks_over_time(self):
+        sched = TCMScheduler(
+            num_threads=3, cluster_fraction=0.0, shuffle_interval=100
+        )
+        sched.on_quantum(
+            snapshot([profile(t, mpki=20, bandwidth=0.3) for t in range(3)])
+        )
+        tops = set()
+        for slot in range(12):
+            now = slot * 100
+            keys = {
+                t: sched.key(req(thread=t), False, now) for t in range(3)
+            }
+            tops.add(min(keys, key=keys.get))
+        assert len(tops) == 3  # every thread reaches the top
+
+    def test_every_thread_leaves_the_bottom(self):
+        sched = TCMScheduler(
+            num_threads=3, cluster_fraction=0.0, shuffle_interval=100
+        )
+        sched.on_quantum(
+            snapshot(
+                [
+                    profile(0, mpki=20, blp=4.0, rbh=0.2, bandwidth=0.3),
+                    profile(1, mpki=20, blp=2.0, rbh=0.5, bandwidth=0.3),
+                    profile(2, mpki=20, blp=1.0, rbh=0.9, bandwidth=0.3),
+                ]
+            )
+        )
+        bottoms = set()
+        for slot in range(12):
+            now = slot * 100
+            keys = {
+                t: sched.key(req(thread=t), False, now) for t in range(3)
+            }
+            bottoms.add(max(keys, key=keys.get))
+        assert len(bottoms) >= 2
+
+    def test_nicest_thread_gets_more_top_time(self):
+        sched = TCMScheduler(
+            num_threads=2, cluster_fraction=0.0, shuffle_interval=100
+        )
+        sched.on_quantum(
+            snapshot(
+                [
+                    profile(0, mpki=20, blp=8.0, rbh=0.1, bandwidth=0.3),
+                    profile(1, mpki=20, blp=1.0, rbh=0.9, bandwidth=0.3),
+                ]
+            )
+        )
+        top_counts = {0: 0, 1: 0}
+        for slot in range(30):
+            now = slot * 100
+            keys = {
+                t: sched.key(req(thread=t), False, now) for t in range(2)
+            }
+            top_counts[min(keys, key=keys.get)] += 1
+        assert top_counts[0] > top_counts[1]  # high BLP = nice = more top
+
+    def test_rotate_mode_equal_shares(self):
+        sched = TCMScheduler(
+            num_threads=2,
+            cluster_fraction=0.0,
+            shuffle_interval=100,
+            shuffle_mode="rotate",
+        )
+        sched.on_quantum(
+            snapshot([profile(t, mpki=20, bandwidth=0.3) for t in range(2)])
+        )
+        tops = [
+            min(
+                range(2),
+                key=lambda t: sched.key(req(thread=t), False, slot * 100),
+            )
+            for slot in range(10)
+        ]
+        assert tops.count(0) == tops.count(1)
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ConfigError):
+            TCMScheduler(num_threads=2, cluster_fraction=1.5)
+        with pytest.raises(ConfigError):
+            TCMScheduler(num_threads=2, shuffle_mode="chaos")

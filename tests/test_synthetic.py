@@ -1,0 +1,137 @@
+"""Synthetic workload generator tests: the knobs do what they claim."""
+
+import pytest
+
+from repro.workloads import APP_PROFILES, AppProfile, generate_trace, get_profile
+from repro.workloads.synthetic import LINES_PER_PAGE
+from repro.errors import ConfigError
+
+
+def profile(**overrides):
+    base = dict(
+        name="test",
+        mpki=20.0,
+        row_locality=0.8,
+        streams=4,
+        write_frac=0.3,
+        footprint_mb=4,
+    )
+    base.update(overrides)
+    return AppProfile(**base)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = generate_trace(profile(), seed=5)
+        b = generate_trace(profile(), seed=5)
+        assert a.records == b.records
+
+    def test_different_seed_different_trace(self):
+        a = generate_trace(profile(), seed=5)
+        b = generate_trace(profile(), seed=6)
+        assert a.records != b.records
+
+    def test_different_apps_different_streams(self):
+        a = generate_trace(profile(name="x"), seed=5)
+        b = generate_trace(profile(name="y"), seed=5)
+        assert a.records != b.records
+
+
+class TestMPKI:
+    @pytest.mark.parametrize("target", [2.0, 10.0, 40.0])
+    def test_intrinsic_mpki_near_target(self, target):
+        trace = generate_trace(profile(mpki=target), length_override=5000)
+        assert trace.intrinsic_mpki == pytest.approx(target, rel=0.15)
+
+    def test_length_scales_with_mpki(self):
+        light = generate_trace(profile(mpki=0.1), target_insts=4_000_000)
+        heavy = generate_trace(profile(mpki=30.0), target_insts=4_000_000)
+        assert len(light) < len(heavy)
+
+    def test_length_clamped(self):
+        trace = generate_trace(
+            profile(mpki=30.0), target_insts=10**10, max_records=1000
+        )
+        assert len(trace) == 1000
+
+
+class TestLocality:
+    def _sequential_fraction(self, trace):
+        # Measures per-stream sequentiality indirectly: consecutive vlines.
+        records = trace.records
+        seq = sum(
+            1
+            for a, b in zip(records, records[1:])
+            if b.vline == a.vline + 1
+        )
+        return seq / (len(records) - 1)
+
+    def test_high_locality_single_stream_is_sequential(self):
+        trace = generate_trace(
+            profile(row_locality=0.95, streams=1, burst=1),
+            length_override=4000,
+        )
+        assert self._sequential_fraction(trace) > 0.8
+
+    def test_low_locality_is_scattered(self):
+        trace = generate_trace(
+            profile(row_locality=0.05, streams=1, burst=1),
+            length_override=4000,
+        )
+        assert self._sequential_fraction(trace) < 0.2
+
+
+class TestStructure:
+    def test_footprint_bounded(self):
+        prof = profile(footprint_mb=1)
+        trace = generate_trace(prof, length_override=4000)
+        max_line = (1 << 20) // 4096 * LINES_PER_PAGE
+        assert all(r.vline < max_line for r in trace.records)
+
+    def test_streams_partition_footprint(self):
+        prof = profile(streams=4, footprint_mb=4, row_locality=0.0)
+        trace = generate_trace(prof, length_override=4000)
+        pages = {r.vline // LINES_PER_PAGE for r in trace.records}
+        region = (4 << 20) // 4096 // 4
+        regions = {p // region for p in pages}
+        assert regions == {0, 1, 2, 3}
+
+    def test_write_fraction_near_target(self):
+        trace = generate_trace(profile(write_frac=0.3), length_override=5000)
+        frac = sum(r.is_write for r in trace.records) / len(trace)
+        assert frac == pytest.approx(0.3, abs=0.05)
+
+    def test_burst_structure_present(self):
+        prof = profile(mpki=10.0, burst=8)
+        trace = generate_trace(prof, length_override=5000)
+        small = sum(1 for r in trace.records if r.gap <= 2)
+        # Most records belong to bursts (small gaps).
+        assert small / len(trace) > 0.6
+
+
+class TestProfiles:
+    def test_all_builtin_profiles_generate(self):
+        for name in APP_PROFILES:
+            trace = generate_trace(get_profile(name), target_insts=100_000)
+            assert len(trace) >= 1
+
+    def test_burst_defaults_to_streams(self):
+        prof = profile(streams=6)
+        assert prof.burst == 6
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ConfigError):
+            get_profile("quake3")
+
+    def test_intensity_classification(self):
+        assert get_profile("mcf").intensive
+        assert not get_profile("povray").intensive
+
+    def test_profiles_by_intensity_sorted(self):
+        from repro.workloads import profiles_by_intensity
+
+        intensive, light = profiles_by_intensity()
+        mpkis = [p.mpki for p in intensive]
+        assert mpkis == sorted(mpkis, reverse=True)
+        assert all(p.mpki < 1 for p in light)
+        assert all(p.mpki >= 1 for p in intensive)

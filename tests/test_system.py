@@ -1,0 +1,165 @@
+"""Full-system integration tests on a small configuration."""
+
+import pytest
+
+from repro.baselines import EqualBankPartitioning, SharedPolicy
+from repro.core.dbp import DBPConfig, DynamicBankPartitioning
+from repro.errors import SimulationError
+from repro.sim.system import System
+from repro.workloads import AppProfile, generate_trace
+
+HEAVY = AppProfile("heavy", 25.0, 0.7, 4, 0.3, 1)
+LIGHT = AppProfile("light", 0.4, 0.6, 2, 0.2, 1)
+
+
+def traces(seed=1):
+    return [
+        generate_trace(HEAVY, seed=seed, target_insts=500_000),
+        generate_trace(LIGHT, seed=seed, target_insts=500_000),
+    ]
+
+
+def run_system(small_config, horizon=25_000, policy=None, validate=False, seed=1):
+    system = System(
+        small_config,
+        traces(seed),
+        horizon=horizon,
+        policy=policy,
+        validate=validate,
+    )
+    return system, system.run()
+
+
+class TestBasicRun:
+    def test_completes_and_reports(self, small_config):
+        _, result = run_system(small_config)
+        assert set(result.threads) == {0, 1}
+        heavy, light = result.threads[0], result.threads[1]
+        assert heavy.app == "heavy"
+        assert heavy.ipc > 0
+        assert light.ipc > heavy.ipc  # light thread runs faster
+        assert heavy.reads > light.reads
+        assert result.total_commands > 0
+
+    def test_refresh_happens(self, small_config):
+        timings = small_config.timings
+        horizon = 3 * timings.tREFI
+        _, result = run_system(small_config, horizon=horizon)
+        assert result.total_refreshes >= 2
+
+    def test_protocol_validated_run(self, small_config):
+        # validate=True replays every DRAM command through the independent
+        # checker; any timing bug in the controller raises here.
+        run_system(small_config, validate=True)
+
+    def test_single_use(self, small_config):
+        system, _ = run_system(small_config)
+        with pytest.raises(SimulationError):
+            system.run()
+
+    def test_trace_count_must_match_cores(self, small_config):
+        with pytest.raises(SimulationError):
+            System(small_config, traces()[:1], horizon=1000)
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self, small_config):
+        _, a = run_system(small_config)
+        _, b = run_system(small_config)
+        assert a.threads[0].ipc == b.threads[0].ipc
+        assert a.threads[1].ipc == b.threads[1].ipc
+        assert a.total_commands == b.total_commands
+        assert a.engine_events == b.engine_events
+
+    def test_different_traces_different_results(self, small_config):
+        _, a = run_system(small_config, seed=1)
+        _, b = run_system(small_config, seed=2)
+        assert (a.threads[0].ipc, a.total_commands) != (
+            b.threads[0].ipc,
+            b.total_commands,
+        )
+
+
+class TestPolicies:
+    def test_ebp_isolates_banks(self, small_config):
+        system, _ = run_system(small_config, policy=EqualBankPartitioning())
+        assert system.allocator.thread_colors(0) == frozenset({0, 1})
+        assert system.allocator.thread_colors(1) == frozenset({2, 3})
+        # Every request of thread 0 went to its banks.
+        for _v, frame in system.page_tables[0].mapped_pages():
+            assert system.address_map.frame_bank_color(frame) in {0, 1}
+
+    def test_dbp_repartitions_during_run(self, small_config):
+        policy = DynamicBankPartitioning(DBPConfig(epoch_cycles=5_000))
+        system, result = run_system(small_config, policy=policy)
+        assert policy.stat_repartitions >= 3
+
+    def test_dbp_run_is_protocol_legal(self, small_config):
+        policy = DynamicBankPartitioning(DBPConfig(epoch_cycles=5_000))
+        run_system(small_config, policy=policy, validate=True)
+
+    def test_migration_traffic_reaches_dram(self, small_config):
+        policy = DynamicBankPartitioning(
+            DBPConfig(epoch_cycles=5_000, hysteresis_colors=0)
+        )
+        system, result = run_system(small_config, policy=policy)
+        if result.pages_migrated:
+            served = sum(
+                c.stats.reads_served + c.stats.writes_served
+                for c in system.controllers
+            )
+            assert served > 0
+
+
+class TestConservation:
+    def test_no_requests_left_behind(self, small_config):
+        # After the horizon everything enqueued was either served or is
+        # still visibly queued — nothing vanished.
+        system, result = run_system(small_config)
+        served = sum(
+            c.stats.reads_served + c.stats.writes_served
+            for c in system.controllers
+        )
+        queued = sum(c.pending_requests for c in system.controllers)
+        pending_events = system.engine.pending_events()
+        issued = sum(t.reads + t.writes for t in result.threads.values())
+        assert issued == served
+        assert served + queued >= served  # queues consistent
+        assert pending_events >= 0
+
+    def test_cache_stats_consistent(self, small_config):
+        system, _ = run_system(small_config)
+        for cache in system.caches.values():
+            assert cache.stat_hits + cache.stat_misses > 0
+            assert 0.0 <= cache.miss_rate <= 1.0
+
+    def test_bus_utilization_reported(self, small_config):
+        _, result = run_system(small_config)
+        assert set(result.bus_utilization) == {0}
+        assert 0.0 < result.bus_utilization[0] <= 1.0
+
+    def test_page_tables_consistent(self, small_config):
+        system, _ = run_system(small_config)
+        frames = []
+        for table in system.page_tables.values():
+            frames.extend(f for _v, f in table.mapped_pages())
+        assert len(frames) == len(set(frames))  # no frame double-mapped
+
+
+class TestEpochPlumbing:
+    def test_profiler_feeds_tcm(self, small_config):
+        config = small_config.with_scheduler("tcm", quantum_cycles=5_000)
+        system = System(config, traces(), horizon=25_000)
+        system.run()
+        assert system.scheduler.stat_quanta >= 3
+        # The light thread should sit in the latency cluster.
+        assert 1 in system.scheduler.latency_cluster()
+
+    def test_static_policy_plus_stateless_scheduler_has_no_epochs(
+        self, small_config
+    ):
+        system = System(
+            small_config, traces(), horizon=25_000, policy=SharedPolicy()
+        )
+        assert system._epoch is None
+        system.run()

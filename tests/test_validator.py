@@ -1,0 +1,229 @@
+"""Protocol validator tests: accepts legal streams, rejects each violation."""
+
+import pytest
+
+from repro.dram.commands import Command, CommandType
+from repro.dram.validator import ProtocolValidator
+from repro.errors import ProtocolError
+
+
+def cmd(cycle, kind, rank=0, bank=0, row=-1):
+    return Command(cycle=cycle, kind=kind, channel=0, rank=rank, bank=bank, row=row)
+
+
+@pytest.fixture
+def validator(timings):
+    return ProtocolValidator(timings, num_ranks=2, num_banks=4)
+
+
+class TestLegalStreams:
+    def test_activate_read_precharge(self, validator, timings):
+        t = timings
+        stream = [
+            cmd(0, CommandType.ACTIVATE, row=1),
+            cmd(t.tRCD, CommandType.READ),
+            cmd(max(t.tRAS, t.tRCD + t.tRTP), CommandType.PRECHARGE),
+        ]
+        assert validator.observe_all(stream) == 3
+
+    def test_parallel_banks(self, validator, timings):
+        t = timings
+        stream = [
+            cmd(0, CommandType.ACTIVATE, bank=0, row=1),
+            cmd(t.tRRD, CommandType.ACTIVATE, bank=1, row=2),
+            cmd(t.tRCD, CommandType.READ, bank=0),
+            cmd(max(t.tRRD + t.tRCD, t.tRCD + t.tCCD), CommandType.READ, bank=1),
+        ]
+        validator.observe_all(stream)
+
+    def test_refresh_cycle(self, validator, timings):
+        t = timings
+        stream = [
+            cmd(t.tREFI, CommandType.REFRESH, bank=-1),
+            cmd(t.tREFI + t.tRFC, CommandType.ACTIVATE, row=3),
+        ]
+        validator.observe_all(stream)
+
+
+class TestViolations:
+    def _expect(self, validator, stream, rule):
+        with pytest.raises(ProtocolError) as excinfo:
+            validator.observe_all(stream)
+        assert rule in str(excinfo.value)
+
+    def test_trcd(self, validator, timings):
+        self._expect(
+            validator,
+            [
+                cmd(0, CommandType.ACTIVATE, row=1),
+                cmd(timings.tRCD - 1, CommandType.READ),
+            ],
+            "tRCD",
+        )
+
+    def test_tras(self, validator, timings):
+        self._expect(
+            validator,
+            [
+                cmd(0, CommandType.ACTIVATE, row=1),
+                cmd(timings.tRAS - 1, CommandType.PRECHARGE),
+            ],
+            "tRAS",
+        )
+
+    def test_trp(self, validator, timings):
+        t = timings
+        self._expect(
+            validator,
+            [
+                cmd(0, CommandType.ACTIVATE, row=1),
+                cmd(t.tRAS, CommandType.PRECHARGE),
+                cmd(t.tRAS + t.tRP - 1, CommandType.ACTIVATE, row=2),
+            ],
+            "tRP",
+        )
+
+    def test_trc(self, validator, timings):
+        t = timings
+        # Construct a case where tRP is satisfied but tRC is not.
+        if t.tRAS + t.tRP >= t.tRC:
+            pytest.skip("preset cannot distinguish tRC from tRAS+tRP")
+        self._expect(
+            validator,
+            [
+                cmd(0, CommandType.ACTIVATE, row=1),
+                cmd(t.tRAS, CommandType.PRECHARGE),
+                cmd(t.tRC - 1, CommandType.ACTIVATE, row=2),
+            ],
+            "tRC",
+        )
+
+    def test_trrd(self, validator, timings):
+        self._expect(
+            validator,
+            [
+                cmd(0, CommandType.ACTIVATE, bank=0, row=1),
+                cmd(timings.tRRD - 1, CommandType.ACTIVATE, bank=1, row=1),
+            ],
+            "tRRD",
+        )
+
+    def test_tfaw(self, timings):
+        t = timings
+        fifth_time = 4 * t.tRRD
+        if fifth_time >= t.tFAW:
+            pytest.skip("tRRD spacing alone satisfies tFAW in this preset")
+        wide = ProtocolValidator(timings, num_ranks=1, num_banks=8)
+        stream = [
+            cmd(i * t.tRRD, CommandType.ACTIVATE, bank=i, row=1)
+            for i in range(4)
+        ]
+        stream.append(cmd(fifth_time, CommandType.ACTIVATE, bank=4, row=2))
+        self._expect(wide, stream, "tFAW")
+
+    def test_tccd(self, validator, timings):
+        t = timings
+        self._expect(
+            validator,
+            [
+                cmd(0, CommandType.ACTIVATE, bank=0, row=1),
+                cmd(t.tRRD, CommandType.ACTIVATE, bank=1, row=1),
+                cmd(t.tRRD + t.tRCD, CommandType.READ, bank=1),
+                cmd(t.tRRD + t.tRCD + t.tCCD - 1, CommandType.READ, bank=0),
+            ],
+            "tCCD",
+        )
+
+    def test_twtr(self, validator, timings):
+        t = timings
+        self._expect(
+            validator,
+            [
+                cmd(0, CommandType.ACTIVATE, bank=0, row=1),
+                cmd(t.tRCD, CommandType.WRITE, bank=0),
+                cmd(t.tRCD + t.CWL + t.tBURST + 1, CommandType.READ, bank=0),
+            ],
+            "tWTR",
+        )
+
+    def test_act_to_open_bank(self, validator, timings):
+        self._expect(
+            validator,
+            [
+                cmd(0, CommandType.ACTIVATE, row=1),
+                cmd(1000, CommandType.ACTIVATE, row=2),
+            ],
+            "open row",
+        )
+
+    def test_cas_to_idle_bank(self, validator):
+        self._expect(validator, [cmd(10, CommandType.READ)], "idle bank")
+
+    def test_pre_to_idle_bank(self, validator):
+        self._expect(validator, [cmd(10, CommandType.PRECHARGE)], "idle")
+
+    def test_refresh_with_open_bank(self, validator, timings):
+        self._expect(
+            validator,
+            [
+                cmd(0, CommandType.ACTIVATE, row=1),
+                cmd(timings.tREFI, CommandType.REFRESH, bank=-1),
+            ],
+            "REF",
+        )
+
+    def test_command_during_trfc_blackout(self, validator, timings):
+        t = timings
+        self._expect(
+            validator,
+            [
+                cmd(t.tREFI, CommandType.REFRESH, bank=-1),
+                cmd(t.tREFI + t.tRFC - 1, CommandType.ACTIVATE, row=1),
+            ],
+            "blackout",
+        )
+
+    def test_out_of_order_commands(self, validator):
+        self._expect(
+            validator,
+            [
+                cmd(100, CommandType.ACTIVATE, row=1),
+                cmd(50, CommandType.ACTIVATE, bank=1, row=1),
+            ],
+            "order",
+        )
+
+    def test_bus_conflict(self, timings):
+        validator = ProtocolValidator(timings, 2, 4, clock_ratio=4)
+        with pytest.raises(ProtocolError) as excinfo:
+            validator.observe_all(
+                [
+                    cmd(0, CommandType.ACTIVATE, bank=0, row=1),
+                    cmd(2, CommandType.ACTIVATE, bank=1, row=1),
+                ]
+            )
+        assert "command bus" in str(excinfo.value)
+
+
+class TestCrossValidation:
+    """The device model and the validator must agree on legal streams."""
+
+    def test_device_generated_stream_validates(self, timings):
+        from repro.dram.channel import Channel
+
+        channel = Channel(0, 2, 4, timings, clock_ratio=1)
+        channel.enable_logging()
+        t = timings
+        channel.issue(cmd(0, CommandType.ACTIVATE, 0, 0, 5))
+        channel.issue(cmd(t.tRRD, CommandType.ACTIVATE, 0, 1, 6))
+        channel.issue(
+            cmd(channel.earliest_cas(0, 0, False), CommandType.READ, 0, 0)
+        )
+        channel.issue(
+            cmd(channel.earliest_cas(0, 1, True), CommandType.WRITE, 0, 1)
+        )
+        channel.issue(
+            cmd(channel.earliest_precharge(0, 0), CommandType.PRECHARGE, 0, 0)
+        )
+        validator = ProtocolValidator(timings, 2, 4)
+        assert validator.observe_all(channel.command_log) == 5
