@@ -2,7 +2,12 @@
 
 One session-scoped Runner backs every bench module: traces, alone-run
 baselines, and (mix, approach) results are computed once and shared, so
-e.g. the F3 fairness view reuses the F2 throughput runs.
+e.g. the F3 fairness view reuses the F2 throughput runs. The Runner is
+backed by the campaign subsystem's persistent result store, so runs also
+persist *across* sessions — a repeated benchmark invocation is served from
+``benchmarks/results/store/`` and the session summary reports how much
+wall-clock the store saved (tracked over time by the BENCH_*.json
+trajectories).
 
 Environment knobs:
 
@@ -10,20 +15,26 @@ Environment knobs:
   Shape assertions are skipped below 150000 cycles, where run-to-run noise
   exceeds the effects being measured.
 * ``REPRO_BENCH_QUICK``   — set to 1 to sweep a single mix per figure.
+* ``REPRO_BENCH_JOBS``    — worker processes for the sweeps (default 1).
+* ``REPRO_BENCH_STORE``   — set to 0 to disable the persistent store.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
 import pytest
 
+from repro.campaign import ResultStore
 from repro.sim.runner import Runner
 from repro.workloads.mixes import MAIN_MIXES
 
 BENCH_HORIZON = int(os.environ.get("REPRO_BENCH_HORIZON", "300000"))
 QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+STORE_ENABLED = os.environ.get("REPRO_BENCH_STORE", "1") not in ("", "0")
 
 #: Mixes for the headline sweeps (F2-F4).
 BENCH_MIXES = ["M4"] if QUICK else list(MAIN_MIXES)
@@ -31,6 +42,11 @@ BENCH_MIXES = ["M4"] if QUICK else list(MAIN_MIXES)
 BENCH_FAST_MIXES = ["M4"] if QUICK else ["M1", "M4", "M6", "M7", "M10"]
 #: Below this horizon the claim deltas drown in noise; only print tables.
 ASSERT_HORIZON = 150_000
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: The session's persistent campaign store (None when disabled).
+STORE = ResultStore(RESULTS_DIR / "store") if STORE_ENABLED else None
 
 
 def shape_checks_enabled() -> bool:
@@ -40,15 +56,12 @@ def shape_checks_enabled() -> bool:
 
 @pytest.fixture(scope="session")
 def runner() -> Runner:
-    return Runner(horizon=BENCH_HORIZON)
+    return Runner(horizon=BENCH_HORIZON, store=STORE, jobs=BENCH_JOBS)
 
 
 def run_once(benchmark, fn):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
-
-
-RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 
 def show(result) -> None:
@@ -62,3 +75,39 @@ def show(result) -> None:
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{result.exp_id}.txt").write_text(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Surface campaign-store statistics in the session summary.
+
+    The same numbers land in ``benchmarks/results/store_stats.json`` so the
+    BENCH_*.json trajectories can track the cache-driven speedup.
+    """
+    if STORE is None:
+        return
+    stats = STORE.stats
+    if stats.hits + stats.misses + stats.writes == 0:
+        return
+    # Writes are counted per process; with REPRO_BENCH_JOBS > 1 they happen
+    # in the campaign workers, so report the on-disk entry count too.
+    entries = STORE.entry_count()
+    terminalreporter.write_sep("-", "campaign result store")
+    terminalreporter.write_line(
+        f"store {STORE.root}: {entries} entries; {stats.hits} hits, "
+        f"{stats.misses} misses, {stats.writes} writes, "
+        f"{stats.corrupt} quarantined; "
+        f"{stats.wall_saved:.1f}s of simulation served from disk"
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "store_stats.json").write_text(
+        json.dumps(
+            {
+                "jobs": BENCH_JOBS,
+                "horizon": BENCH_HORIZON,
+                "entries": entries,
+                **stats.as_dict(),
+            },
+            indent=2,
+        )
+        + "\n"
+    )

@@ -63,6 +63,14 @@ from .metrics import (
     summarize,
     weighted_speedup,
 )
+from .campaign import (
+    CampaignResult,
+    CampaignSpec,
+    ResultStore,
+    RunOutcome,
+    RunSpec,
+    run_campaign,
+)
 from .sim import Engine, RunResult, Runner, System, SystemResult, WorkloadRunMetrics
 from .workloads import (
     APP_PROFILES,
@@ -109,6 +117,13 @@ __all__ = [
     "MIXES",
     "get_mix",
     "mixes_for_cores",
+    # campaigns
+    "CampaignSpec",
+    "CampaignResult",
+    "RunSpec",
+    "RunOutcome",
+    "ResultStore",
+    "run_campaign",
     # simulation
     "Engine",
     "System",

@@ -1,0 +1,63 @@
+"""Experiment-campaign subsystem: plan, execute, persist, report.
+
+The reconstructed evaluation is a grid of fully independent
+(mix x approach x seed x horizon) simulations. This package turns such a
+grid into a *campaign*:
+
+* :mod:`~repro.campaign.spec` **plans** — expands a
+  :class:`CampaignSpec` into picklable :class:`RunSpec` cells (approaches
+  travel by registry name; workers rebuild the policies);
+* :mod:`~repro.campaign.executor` **executes** — fans the plan out over a
+  process pool with bounded retries, per-run timeouts, and graceful
+  serial degradation;
+* :mod:`~repro.campaign.store` **persists** — a content-addressed
+  :class:`ResultStore` under ``benchmarks/results/store/`` makes re-runs
+  free and interrupted campaigns resumable;
+* :mod:`~repro.campaign.progress` **reports** — per-run progress with ETA
+  and the final table/summary.
+
+Entry points: :func:`run_campaign` for scripts and the
+``repro-dbp campaign`` CLI; :func:`sweep_metrics` for the experiment
+catalog's sweeps.
+"""
+
+from .executor import (
+    CampaignResult,
+    RunOutcome,
+    RunTimeoutError,
+    execute,
+    execute_one,
+)
+from .api import run_campaign, sweep_metrics
+from .progress import ProgressPrinter, render_report
+from .spec import DEFAULT_APPROACHES, CampaignSpec, RunSpec, plan_sweep
+from .store import (
+    STORE_VERSION,
+    ResultStore,
+    StoreStats,
+    default_store_dir,
+    run_key,
+    runner_fingerprint,
+)
+
+__all__ = [
+    "CampaignSpec",
+    "RunSpec",
+    "plan_sweep",
+    "DEFAULT_APPROACHES",
+    "CampaignResult",
+    "RunOutcome",
+    "RunTimeoutError",
+    "execute",
+    "execute_one",
+    "run_campaign",
+    "sweep_metrics",
+    "ProgressPrinter",
+    "render_report",
+    "ResultStore",
+    "StoreStats",
+    "STORE_VERSION",
+    "default_store_dir",
+    "run_key",
+    "runner_fingerprint",
+]

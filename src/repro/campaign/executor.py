@@ -1,0 +1,351 @@
+"""Parallel campaign execution over ``concurrent.futures``.
+
+The executor turns a list of :class:`~repro.campaign.spec.RunSpec` into
+:class:`RunOutcome`s:
+
+* runs already in the :class:`~repro.campaign.store.ResultStore` are served
+  from disk (``status="cached"``) without touching a worker;
+* the rest fan out over a ``ProcessPoolExecutor``; each worker keeps a
+  process-local Runner per configuration fingerprint so traces and
+  alone-run baselines are generated once per worker, and persists its
+  result to the store *before* returning — a campaign killed mid-flight
+  therefore resumes from everything that finished;
+* a worker crash (``BrokenProcessPool``) or a raised error consumes one of
+  the run's bounded attempts; a run out of attempts is reported as
+  ``status="failed"`` without aborting the rest of the grid;
+* per-run timeouts are enforced with ``SIGALRM`` in pooled workers and in
+  the serial path alike (POSIX main thread only; elsewhere the timeout is
+  advisory);
+* when ``jobs=1``, or the platform cannot provide a process pool, the whole
+  plan degrades gracefully to serial in-process execution — the exact same
+  code path a worker runs, so metrics are bit-identical either way.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+from ..sim.runner import RunResult
+from .spec import RunSpec
+from .store import ResultStore
+
+#: Called after every settled run: (outcome, done_count, total_count).
+ProgressFn = Callable[["RunOutcome", int, int], None]
+
+
+class RunTimeoutError(ReproError):
+    """A run exceeded the campaign's per-run timeout."""
+
+
+@dataclass
+class RunOutcome:
+    """What happened to one planned run."""
+
+    spec: RunSpec
+    status: str  # "ok" | "cached" | "failed"
+    result: Optional[RunResult] = None
+    error: str = ""
+    wall_clock: float = 0.0
+    attempts: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ok", "cached")
+
+
+@dataclass
+class CampaignResult:
+    """Every outcome of one executed plan, in plan order."""
+
+    outcomes: List[RunOutcome] = field(default_factory=list)
+    wall_clock: float = 0.0
+
+    def with_status(self, status: str) -> List[RunOutcome]:
+        return [o for o in self.outcomes if o.status == status]
+
+    @property
+    def executed(self) -> List[RunOutcome]:
+        return self.with_status("ok")
+
+    @property
+    def cached(self) -> List[RunOutcome]:
+        return self.with_status("cached")
+
+    @property
+    def failed(self) -> List[RunOutcome]:
+        return self.with_status("failed")
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return len(self.cached) / len(self.outcomes) if self.outcomes else 0.0
+
+
+# ---------------------------------------------------------------------------
+# Worker side. Everything here must be importable (top-level) and picklable.
+# ---------------------------------------------------------------------------
+_WORKER_RUNNERS: Dict[str, object] = {}
+_WORKER_STORES: Dict[str, ResultStore] = {}
+
+
+def _runner_for(spec: RunSpec):
+    """A process-local Runner matching the spec's scope (cached)."""
+    from ..sim.runner import Runner
+
+    key = spec.runner_key()
+    runner = _WORKER_RUNNERS.get(key)
+    if runner is None:
+        runner = Runner(
+            config=spec.config,
+            horizon=spec.horizon,
+            seed=spec.seed,
+            target_insts=spec.target_insts,
+            validate=spec.validate,
+            ahead_limit=spec.ahead_limit,
+        )
+        _WORKER_RUNNERS[key] = runner
+    return runner
+
+
+def execute_one(spec: RunSpec) -> Tuple[RunResult, float]:
+    """Run one spec in this process; returns (result, wall-clock seconds)."""
+    runner = _runner_for(spec)
+    started = time.perf_counter()
+    result = runner.run_apps(
+        list(spec.apps), spec.approach, mix_name=spec.mix_name
+    )
+    return result, time.perf_counter() - started
+
+
+def _alarm_handler(signum, frame):  # pragma: no cover - fires in workers
+    raise RunTimeoutError("per-run timeout expired")
+
+
+def _execute_with_timeout(
+    spec: RunSpec, timeout: Optional[float]
+) -> Tuple[RunResult, float]:
+    """Run one spec under a SIGALRM deadline (POSIX main thread only)."""
+    alarmed = False
+    if (
+        timeout
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    ):
+        signal.signal(signal.SIGALRM, _alarm_handler)
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+        alarmed = True
+    try:
+        return execute_one(spec)
+    finally:
+        if alarmed:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+
+
+def _worker(
+    spec: RunSpec, store_root: Optional[str], timeout: Optional[float]
+) -> Tuple[RunResult, float]:
+    """Pool entry point: run, persist to the store, return the result."""
+    result, wall = _execute_with_timeout(spec, timeout)
+    if store_root is not None:
+        store = _WORKER_STORES.get(store_root)
+        if store is None:
+            store = ResultStore(store_root)
+            _WORKER_STORES[store_root] = store
+        store.put(spec.key(), result, wall, describe=_describe(spec))
+    return result, wall
+
+
+def _describe(spec: RunSpec) -> Dict[str, object]:
+    return {
+        "mix": spec.mix_name or "+".join(spec.apps),
+        "apps": list(spec.apps),
+        "approach": spec.approach,
+        "seed": spec.seed,
+        "horizon": spec.horizon,
+        "target_insts": spec.target_insts,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Parent side.
+# ---------------------------------------------------------------------------
+def execute(
+    specs: Sequence[RunSpec],
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    retries: int = 1,
+    timeout: Optional[float] = None,
+    progress: Optional[ProgressFn] = None,
+) -> CampaignResult:
+    """Execute a plan; never raises for individual run failures.
+
+    ``retries`` bounds *additional* attempts after the first, so the
+    default reports a run as failed once it has failed twice.
+    """
+    started = time.perf_counter()
+    total = len(specs)
+    outcomes: Dict[int, RunOutcome] = {}
+    pending: List[int] = []
+    for index, spec in enumerate(specs):
+        hit = store.get(spec.key()) if store is not None else None
+        if hit is not None:
+            result, original_wall = hit
+            outcomes[index] = RunOutcome(
+                spec, "cached", result, wall_clock=original_wall
+            )
+            if progress:
+                progress(outcomes[index], len(outcomes), total)
+        else:
+            pending.append(index)
+
+    if pending:
+        if jobs > 1:
+            _execute_pooled(
+                specs, pending, outcomes, jobs, store, retries, timeout,
+                progress, total,
+            )
+        else:
+            _execute_serial(
+                specs, pending, outcomes, store, progress, total, timeout
+            )
+
+    ordered = [outcomes[i] for i in sorted(outcomes)]
+    return CampaignResult(
+        outcomes=ordered, wall_clock=time.perf_counter() - started
+    )
+
+
+def _execute_serial(
+    specs: Sequence[RunSpec],
+    pending: Sequence[int],
+    outcomes: Dict[int, RunOutcome],
+    store: Optional[ResultStore],
+    progress: Optional[ProgressFn],
+    total: int,
+    timeout: Optional[float] = None,
+) -> None:
+    for index in pending:
+        spec = specs[index]
+        try:
+            result, wall = _execute_with_timeout(spec, timeout)
+        except ReproError as error:
+            outcomes[index] = RunOutcome(
+                spec, "failed", error=str(error), attempts=1
+            )
+        else:
+            if store is not None:
+                store.put(spec.key(), result, wall, describe=_describe(spec))
+            outcomes[index] = RunOutcome(
+                spec, "ok", result, wall_clock=wall, attempts=1
+            )
+        if progress:
+            progress(outcomes[index], len(outcomes), total)
+
+
+def _execute_pooled(
+    specs: Sequence[RunSpec],
+    pending: Sequence[int],
+    outcomes: Dict[int, RunOutcome],
+    jobs: int,
+    store: Optional[ResultStore],
+    retries: int,
+    timeout: Optional[float],
+    progress: Optional[ProgressFn],
+    total: int,
+) -> None:
+    store_root = str(store.root) if store is not None else None
+    attempts: Dict[int, int] = {index: 0 for index in pending}
+    queue: List[int] = list(pending)
+    pool: Optional[ProcessPoolExecutor] = None
+    futures: Dict[object, int] = {}
+
+    def settle(index: int, outcome: RunOutcome) -> None:
+        outcomes[index] = outcome
+        if progress:
+            progress(outcome, len(outcomes), total)
+
+    def fail_or_requeue(index: int, error: str) -> None:
+        if attempts[index] <= retries:
+            queue.append(index)
+        else:
+            settle(
+                index,
+                RunOutcome(
+                    specs[index],
+                    "failed",
+                    error=error,
+                    attempts=attempts[index],
+                ),
+            )
+
+    try:
+        while queue or futures:
+            if pool is None and queue:
+                try:
+                    pool = ProcessPoolExecutor(
+                        max_workers=min(jobs, max(1, len(queue)))
+                    )
+                except (OSError, ValueError, RuntimeError):
+                    # No process pool on this platform/sandbox: degrade to
+                    # serial for everything still unfinished.
+                    remaining = sorted(set(queue) | set(futures.values()))
+                    futures.clear()
+                    _execute_serial(
+                        specs, remaining, outcomes, store, progress, total,
+                        timeout,
+                    )
+                    return
+            while queue:
+                index = queue.pop(0)
+                try:
+                    future = pool.submit(
+                        _worker, specs[index], store_root, timeout
+                    )
+                except BrokenProcessPool:
+                    queue.insert(0, index)
+                    break
+                attempts[index] += 1
+                futures[future] = index
+            if not futures:
+                # Every submit bounced off a broken pool: rebuild it.
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = None
+                continue
+            done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
+            broken = False
+            for future in done:
+                index = futures.pop(future)
+                try:
+                    result, wall = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                    fail_or_requeue(index, "worker process died")
+                except Exception as error:  # raised inside the worker
+                    fail_or_requeue(index, f"{type(error).__name__}: {error}")
+                else:
+                    settle(
+                        index,
+                        RunOutcome(
+                            specs[index],
+                            "ok",
+                            result,
+                            wall_clock=wall,
+                            attempts=attempts[index],
+                        ),
+                    )
+            if broken:
+                # The pool is unusable; in-flight futures are lost too.
+                for future, index in list(futures.items()):
+                    fail_or_requeue(index, "worker process died")
+                futures.clear()
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = None
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=True)

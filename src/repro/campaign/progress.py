@@ -1,0 +1,122 @@
+"""Campaign progress lines and the end-of-campaign report.
+
+:class:`ProgressPrinter` is the executor's ``progress`` callback for
+interactive use: one line per settled run with running counts, the run's
+wall-clock, and an ETA extrapolated from the mean executed-run time and the
+worker count. :func:`render_report` turns a finished
+:class:`~repro.campaign.executor.CampaignResult` into the paper-style text
+table the CLI prints.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import IO, List, Optional
+
+from .executor import CampaignResult, RunOutcome
+from .store import ResultStore
+
+
+class ProgressPrinter:
+    """Prints one status line per settled run, with counts and an ETA."""
+
+    def __init__(
+        self,
+        total: int,
+        jobs: int = 1,
+        stream: Optional[IO[str]] = None,
+        enabled: bool = True,
+    ) -> None:
+        self.total = total
+        self.jobs = max(1, jobs)
+        self.stream = stream if stream is not None else sys.stderr
+        self.enabled = enabled
+        self.started = time.perf_counter()
+        self._executed_walls: List[float] = []
+        self.completed = 0
+        self.cached = 0
+        self.failed = 0
+
+    def __call__(self, outcome: RunOutcome, done: int, total: int) -> None:
+        if outcome.status == "ok":
+            self.completed += 1
+            self._executed_walls.append(outcome.wall_clock)
+        elif outcome.status == "cached":
+            self.cached += 1
+        else:
+            self.failed += 1
+        if not self.enabled:
+            return
+        width = len(str(self.total))
+        line = (
+            f"[{done:>{width}}/{total}] {outcome.spec.label:<28} "
+            f"{outcome.status:<6}"
+        )
+        if outcome.status == "ok":
+            line += f" {outcome.wall_clock:6.1f}s"
+        elif outcome.status == "failed":
+            line += f" ({outcome.error})"
+        eta = self._eta(done)
+        if eta is not None:
+            line += f"  eta {eta:.0f}s"
+        print(line, file=self.stream, flush=True)
+
+    def _eta(self, done: int) -> Optional[float]:
+        remaining = self.total - done
+        if remaining <= 0 or not self._executed_walls:
+            return None
+        mean = sum(self._executed_walls) / len(self._executed_walls)
+        return remaining * mean / self.jobs
+
+
+def render_report(
+    result: CampaignResult, store: Optional[ResultStore] = None
+) -> str:
+    """The finished campaign as a text table plus a summary block."""
+    from ..experiments.report import render_table
+
+    columns = [
+        "mix", "approach", "seed", "horizon", "status", "ws", "hs", "ms",
+        "secs",
+    ]
+    rows: List[List[object]] = []
+    for outcome in result.outcomes:
+        spec = outcome.spec
+        metrics = outcome.result.metrics if outcome.result else None
+        rows.append(
+            [
+                spec.mix_name or "+".join(spec.apps),
+                spec.approach,
+                spec.seed,
+                spec.horizon,
+                outcome.status,
+                metrics.weighted_speedup if metrics else "-",
+                metrics.harmonic_speedup if metrics else "-",
+                metrics.max_slowdown if metrics else "-",
+                round(outcome.wall_clock, 1),
+            ]
+        )
+    executed = result.executed
+    parts = [render_table(columns, rows), ""]
+    parts.append(
+        f"runs: {len(result.outcomes)} total, {len(executed)} executed, "
+        f"{len(result.cached)} cached "
+        f"({100.0 * result.cache_hit_rate:.0f}% hit rate), "
+        f"{len(result.failed)} failed"
+    )
+    parts.append(f"campaign wall-clock: {result.wall_clock:.1f}s")
+    if store is not None:
+        stats = store.stats
+        parts.append(
+            f"store: {stats.hits} hits, {stats.misses} misses, "
+            f"{stats.writes} writes, {stats.corrupt} quarantined, "
+            f"{stats.wall_saved:.1f}s of simulation re-served from disk "
+            f"({store.root})"
+        )
+    for outcome in result.failed:
+        parts.append(
+            f"FAILED after {outcome.attempts} attempt(s): "
+            f"{outcome.spec.label} — {outcome.error}"
+        )
+    return "\n".join(parts)

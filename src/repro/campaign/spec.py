@@ -1,0 +1,155 @@
+"""Campaign planning: expand an experiment grid into picklable run specs.
+
+A campaign is a grid of fully independent simulations —
+(mix x approach x seed x horizon) — and a :class:`RunSpec` is one cell of
+that grid, carrying everything a worker process needs to reproduce the run
+from scratch. Approaches travel *by registry name* (policy instances hold
+simulation state and are not picklable); workers resolve the name and build
+a fresh policy, which is also what binds the store key to the resolved
+policy/scheduler rather than the label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..config import SystemConfig
+from ..core.integration import get_approach
+from ..errors import ExperimentError
+from ..workloads import get_mix
+from .store import run_key, runner_fingerprint
+
+#: The F2/F3 headline grid's approaches — the campaign CLI default.
+DEFAULT_APPROACHES: Tuple[str, ...] = ("shared-frfcfs", "ebp", "dbp")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation run, fully described and picklable."""
+
+    apps: Tuple[str, ...]
+    approach: str
+    config: SystemConfig = field(default_factory=SystemConfig)
+    seed: int = 1
+    horizon: int = 400_000
+    target_insts: int = 4_000_000
+    ahead_limit: int = 8192
+    validate: bool = False
+    mix_name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.apps:
+            raise ExperimentError("a RunSpec needs at least one app")
+        if self.horizon <= 0:
+            raise ExperimentError("horizon must be positive")
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identity for progress lines and errors."""
+        mix = self.mix_name or "+".join(self.apps)
+        return f"{mix}/{self.approach} s{self.seed} h{self.horizon}"
+
+    def key(self) -> str:
+        """The content-addressed store key of this run."""
+        return run_key(
+            self.config,
+            self.apps,
+            self.approach,
+            seed=self.seed,
+            horizon=self.horizon,
+            target_insts=self.target_insts,
+            ahead_limit=self.ahead_limit,
+            validate=self.validate,
+        )
+
+    def runner_key(self) -> str:
+        """Fingerprint of the Runner this spec needs (apps/approach aside)."""
+        return runner_fingerprint(
+            self.config,
+            seed=self.seed,
+            horizon=self.horizon,
+            target_insts=self.target_insts,
+            ahead_limit=self.ahead_limit,
+            validate=self.validate,
+        )
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A named experiment grid; :meth:`plan` expands it to RunSpecs."""
+
+    name: str = "campaign"
+    mixes: Tuple[str, ...] = ()
+    approaches: Tuple[str, ...] = DEFAULT_APPROACHES
+    seeds: Tuple[int, ...] = (1,)
+    horizons: Tuple[int, ...] = (400_000,)
+    config: SystemConfig = field(default_factory=SystemConfig)
+    target_insts: int = 4_000_000
+    ahead_limit: int = 8192
+    validate: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.mixes:
+            raise ExperimentError("a campaign needs at least one mix")
+        if not self.approaches:
+            raise ExperimentError("a campaign needs at least one approach")
+        if not self.seeds or not self.horizons:
+            raise ExperimentError("a campaign needs seeds and horizons")
+        for name in self.mixes:
+            get_mix(name)  # validate names before any work happens
+        for name in self.approaches:
+            get_approach(name)
+
+    def plan(self) -> List[RunSpec]:
+        """Every cell of the grid, in deterministic sweep order."""
+        specs: List[RunSpec] = []
+        for horizon in self.horizons:
+            for seed in self.seeds:
+                for mix_name in self.mixes:
+                    mix = get_mix(mix_name)
+                    for approach in self.approaches:
+                        specs.append(
+                            RunSpec(
+                                apps=tuple(mix.apps),
+                                approach=approach,
+                                config=self.config,
+                                seed=seed,
+                                horizon=horizon,
+                                target_insts=self.target_insts,
+                                ahead_limit=self.ahead_limit,
+                                validate=self.validate,
+                                mix_name=mix.name,
+                            )
+                        )
+        return specs
+
+
+def plan_sweep(
+    runner,
+    mixes: Sequence[str],
+    approaches: Sequence[str],
+) -> List[RunSpec]:
+    """RunSpecs mirroring what ``runner.run_mix`` would do for a grid.
+
+    The specs inherit every scope field of the Runner, so the store keys
+    (and therefore the results) are identical to the serial path's.
+    """
+    specs: List[RunSpec] = []
+    for mix_name in mixes:
+        mix = get_mix(mix_name)
+        for approach in approaches:
+            specs.append(
+                RunSpec(
+                    apps=tuple(mix.apps),
+                    approach=approach,
+                    config=runner.config,
+                    seed=runner.seed,
+                    horizon=runner.horizon,
+                    target_insts=runner.target_insts,
+                    ahead_limit=runner.ahead_limit,
+                    validate=runner.validate,
+                    mix_name=mix.name,
+                )
+            )
+    return specs

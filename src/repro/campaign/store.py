@@ -1,0 +1,314 @@
+"""Persistent, content-addressed result store.
+
+Every simulation run in this reproduction is a pure function of its inputs:
+the :class:`~repro.config.SystemConfig`, the application list, the approach
+(resolved to its partitioning policy and scheduler, with parameters), the
+trace seed and length, and the horizon. The store exploits that purity: the
+SHA-256 of a canonical JSON encoding of those inputs addresses one JSON
+entry under ``benchmarks/results/store/``, so any process that reproduces
+the same inputs — a later CLI invocation, a benchmark session, a campaign
+worker — gets the finished :class:`~repro.sim.runner.RunResult` for free.
+
+Properties the executor and the benches rely on:
+
+* **Atomic writes** — entries are written to a temp file in the same
+  directory and ``os.replace``d into place, so a killed worker can never
+  leave a half-written entry behind.
+* **Corruption quarantine** — an entry that fails to decode is renamed to
+  ``<entry>.corrupt`` (kept for post-mortem) and treated as a miss.
+* **Accounting** — hits, misses, writes, quarantined entries, and the
+  simulated wall-clock a hit avoided re-paying are all counted on the
+  store instance, for campaign reports and bench session summaries.
+
+``STORE_VERSION`` is the code-version salt in every key: bump it whenever a
+change alters simulation results so stale entries can never be served.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..config import SystemConfig
+from ..core.integration import get_approach
+from ..metrics import MetricSummary
+from ..sim.runner import RunResult, WorkloadRunMetrics
+from ..sim.system import SystemResult, ThreadResult
+
+#: Salt hashed into every key. Bump on any change that alters what a
+#: simulation computes, so old entries become unreachable rather than wrong.
+STORE_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Keys.
+# ---------------------------------------------------------------------------
+def _canonical(doc: object) -> str:
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"), default=repr)
+
+
+def run_key(
+    config: SystemConfig,
+    apps: Sequence[str],
+    approach: str,
+    *,
+    seed: int,
+    horizon: int,
+    target_insts: int,
+    ahead_limit: int = 8192,
+    validate: bool = False,
+) -> str:
+    """Content hash addressing one (config, apps, approach, seed, horizon) run.
+
+    The approach is resolved through the registry so the key binds the
+    *resolved* policy and scheduler (names and parameters), not just the
+    label: two registrations sharing a label can never collide.
+    """
+    spec = get_approach(approach)
+    doc = {
+        "store_version": STORE_VERSION,
+        "config": dataclasses.asdict(config),
+        "apps": list(apps),
+        "approach": {
+            "name": spec.name,
+            "policy": spec.policy,
+            "policy_params": dict(spec.policy_params),
+            "scheduler": spec.scheduler,
+            "scheduler_params": dict(spec.scheduler_params),
+        },
+        "seed": seed,
+        "horizon": horizon,
+        "target_insts": target_insts,
+        "ahead_limit": ahead_limit,
+        "validate": bool(validate),
+    }
+    return hashlib.sha256(_canonical(doc).encode("utf-8")).hexdigest()
+
+
+def runner_fingerprint(
+    config: SystemConfig,
+    *,
+    seed: int,
+    horizon: int,
+    target_insts: int,
+    ahead_limit: int = 8192,
+    validate: bool = False,
+) -> str:
+    """Hash of everything a Runner needs besides (apps, approach).
+
+    Campaign workers key their process-local Runner cache on this, so runs
+    sharing a configuration reuse traces and alone-run baselines.
+    """
+    doc = {
+        "store_version": STORE_VERSION,
+        "config": dataclasses.asdict(config),
+        "seed": seed,
+        "horizon": horizon,
+        "target_insts": target_insts,
+        "ahead_limit": ahead_limit,
+        "validate": bool(validate),
+    }
+    return hashlib.sha256(_canonical(doc).encode("utf-8")).hexdigest()
+
+
+def default_store_dir() -> Path:
+    """Where results persist by default.
+
+    ``REPRO_STORE`` overrides; otherwise ``benchmarks/results/store`` in a
+    source checkout, falling back to ``~/.cache/repro-dbp/store`` for
+    installed copies.
+    """
+    env = os.environ.get("REPRO_STORE")
+    if env:
+        return Path(env)
+    root = Path(__file__).resolve().parents[3]
+    if (root / "benchmarks").is_dir():
+        return root / "benchmarks" / "results" / "store"
+    return Path.home() / ".cache" / "repro-dbp" / "store"
+
+
+# ---------------------------------------------------------------------------
+# RunResult <-> JSON codec.
+# ---------------------------------------------------------------------------
+def encode_run_result(result: RunResult) -> Dict[str, object]:
+    """A JSON-encodable document holding the complete RunResult."""
+    metrics = result.metrics
+    system = result.system
+    return {
+        "metrics": {
+            "mix": metrics.mix,
+            "approach": metrics.approach,
+            "apps": list(metrics.apps),
+            "summary": {
+                "weighted_speedup": metrics.summary.weighted_speedup,
+                "harmonic_speedup": metrics.summary.harmonic_speedup,
+                "max_slowdown": metrics.summary.max_slowdown,
+            },
+            "slowdowns": {str(t): s for t, s in metrics.slowdowns.items()},
+        },
+        "system": {
+            "horizon": system.horizon,
+            "threads": {
+                str(t): dataclasses.asdict(thread)
+                for t, thread in system.threads.items()
+            },
+            "total_commands": system.total_commands,
+            "total_refreshes": system.total_refreshes,
+            "pages_migrated": system.pages_migrated,
+            "engine_events": system.engine_events,
+            "bus_utilization": {
+                str(c): u for c, u in system.bus_utilization.items()
+            },
+        },
+        "alone_ipcs": {str(t): v for t, v in result.alone_ipcs.items()},
+        "shared_ipcs": {str(t): v for t, v in result.shared_ipcs.items()},
+    }
+
+
+def decode_run_result(doc: Dict[str, object]) -> RunResult:
+    """Rebuild a RunResult from :func:`encode_run_result` output.
+
+    Raises ``KeyError``/``TypeError``/``ValueError`` on malformed input;
+    the store turns those into quarantine.
+    """
+    m = doc["metrics"]
+    summary = MetricSummary(
+        weighted_speedup=float(m["summary"]["weighted_speedup"]),
+        harmonic_speedup=float(m["summary"]["harmonic_speedup"]),
+        max_slowdown=float(m["summary"]["max_slowdown"]),
+    )
+    metrics = WorkloadRunMetrics(
+        mix=m["mix"],
+        approach=m["approach"],
+        summary=summary,
+        slowdowns={int(t): float(s) for t, s in m["slowdowns"].items()},
+        apps=tuple(m["apps"]),
+    )
+    s = doc["system"]
+    system = SystemResult(
+        horizon=int(s["horizon"]),
+        threads={
+            int(t): ThreadResult(**thread) for t, thread in s["threads"].items()
+        },
+        total_commands=int(s["total_commands"]),
+        total_refreshes=int(s["total_refreshes"]),
+        pages_migrated=int(s["pages_migrated"]),
+        engine_events=int(s["engine_events"]),
+        bus_utilization={
+            int(c): float(u) for c, u in s["bus_utilization"].items()
+        },
+    )
+    return RunResult(
+        metrics=metrics,
+        system=system,
+        alone_ipcs={int(t): float(v) for t, v in doc["alone_ipcs"].items()},
+        shared_ipcs={int(t): float(v) for t, v in doc["shared_ipcs"].items()},
+    )
+
+
+# ---------------------------------------------------------------------------
+# The store.
+# ---------------------------------------------------------------------------
+@dataclass
+class StoreStats:
+    """Accounting for one store handle (process-local)."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt: int = 0
+    #: Simulated-run wall-clock seconds that hits avoided re-paying.
+    wall_saved: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "corrupt": self.corrupt,
+            "wall_saved": round(self.wall_saved, 3),
+        }
+
+
+class ResultStore:
+    """Content-addressed run results on disk (safe for concurrent writers)."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.stats = StoreStats()
+
+    def path_for(self, key: str) -> Path:
+        """Entry path; two-character sharding keeps directories small."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[Tuple[RunResult, float]]:
+        """The stored (result, original wall-clock) for ``key``, or None.
+
+        Counts a hit or miss; a malformed entry is quarantined to
+        ``<entry>.corrupt`` and counted as both corrupt and a miss.
+        """
+        path = self.path_for(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            doc = json.loads(text)
+            if doc.get("version") != STORE_VERSION or doc.get("key") != key:
+                raise ValueError("version or key mismatch")
+            result = decode_run_result(doc["result"])
+            wall_clock = float(doc.get("wall_clock", 0.0))
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(path)
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self.stats.wall_saved += wall_clock
+        return result, wall_clock
+
+    def put(
+        self,
+        key: str,
+        result: RunResult,
+        wall_clock: float,
+        describe: Optional[Dict[str, object]] = None,
+    ) -> Path:
+        """Persist one run atomically; last concurrent writer wins."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "version": STORE_VERSION,
+            "key": key,
+            "spec": describe or {},
+            "wall_clock": wall_clock,
+            "result": encode_run_result(result),
+        }
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(doc, sort_keys=True, indent=1) + "\n")
+        os.replace(tmp, path)
+        self.stats.writes += 1
+        return path
+
+    # ------------------------------------------------------------------
+    def _quarantine(self, path: Path) -> None:
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:  # pragma: no cover - raced or read-only store
+            pass
+
+    def entry_count(self) -> int:
+        """Number of valid-looking entries on disk (no decode attempted)."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

@@ -2,15 +2,19 @@
 
 Subcommands:
 
-* ``list``   — experiments, approaches, applications, mixes.
-* ``run``    — run one experiment by id and print its table.
-* ``mix``    — run a single mix under one or more approaches.
-* ``config`` — print the simulated system configuration.
+* ``list``     — experiments, approaches, applications, mixes.
+* ``run``      — run one experiment by id and print its table; ``--jobs``
+  fans its sweeps out over worker processes.
+* ``campaign`` — run a (mix x approach x seed) grid in parallel, backed by
+  the persistent result store (re-runs are served from disk).
+* ``mix``      — run a single mix under one or more approaches.
+* ``config``   — print the simulated system configuration.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
@@ -20,6 +24,7 @@ from .errors import ReproError
 from .experiments import EXPERIMENTS, run_experiment
 from .sim.runner import Runner
 from .workloads import MIXES, get_mix
+from .workloads.mixes import MAIN_MIXES
 from .workloads.profiles import APP_PROFILES
 
 
@@ -58,6 +63,84 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["table", "csv", "json"],
         default="table",
         help="output format (default: table)",
+    )
+    run_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sweep experiments (default 1 = serial)",
+    )
+    run_parser.add_argument(
+        "--store",
+        nargs="?",
+        const="auto",
+        default=None,
+        metavar="DIR",
+        help=(
+            "persist runs to the content-addressed result store "
+            "(default location when DIR omitted)"
+        ),
+    )
+
+    campaign_parser = sub.add_parser(
+        "campaign",
+        help="run a mix x approach x seed grid in parallel, resumably",
+    )
+    campaign_parser.add_argument(
+        "--mixes",
+        nargs="*",
+        default=None,
+        help=f"mix names (default: the main evaluation set {list(MAIN_MIXES)})",
+    )
+    campaign_parser.add_argument(
+        "--approaches",
+        nargs="*",
+        default=None,
+        help="approach names (default: shared-frfcfs ebp dbp — the F2/F3 grid)",
+    )
+    campaign_parser.add_argument(
+        "--seeds",
+        nargs="*",
+        type=int,
+        default=None,
+        help="workload seeds (default: the global --seed)",
+    )
+    campaign_parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (default 1)"
+    )
+    campaign_parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="extra attempts for a failed/crashed run (default 1)",
+    )
+    campaign_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-run timeout in seconds (default: none)",
+    )
+    campaign_parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="result store directory (default: benchmarks/results/store)",
+    )
+    campaign_parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="do not read or write the persistent store",
+    )
+    campaign_parser.add_argument(
+        "--format",
+        choices=["table", "json"],
+        default="table",
+        help="output format (default: table)",
+    )
+    campaign_parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-run progress lines on stderr",
     )
 
     mix_parser = sub.add_parser("mix", help="run one mix under approaches")
@@ -127,6 +210,82 @@ def _cmd_run(args: argparse.Namespace, runner: Runner) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .campaign import (
+        CampaignSpec,
+        ProgressPrinter,
+        ResultStore,
+        default_store_dir,
+        render_report,
+        run_campaign,
+    )
+
+    spec = CampaignSpec(
+        mixes=tuple(args.mixes) if args.mixes else tuple(MAIN_MIXES),
+        approaches=(
+            tuple(args.approaches)
+            if args.approaches
+            else ("shared-frfcfs", "ebp", "dbp")
+        ),
+        seeds=tuple(args.seeds) if args.seeds else (args.seed,),
+        horizons=(args.horizon,),
+    )
+    plan = spec.plan()
+    store = None
+    if not args.no_store:
+        store = ResultStore(args.store if args.store else default_store_dir())
+    progress = ProgressPrinter(
+        total=len(plan), jobs=args.jobs, enabled=not args.quiet
+    )
+    result = run_campaign(
+        plan,
+        jobs=args.jobs,
+        store=store,
+        retries=args.retries,
+        timeout=args.timeout,
+        progress=progress,
+        persist=not args.no_store,
+    )
+    if args.format == "json":
+        doc = {
+            "runs": [
+                {
+                    "mix": o.spec.mix_name or "+".join(o.spec.apps),
+                    "approach": o.spec.approach,
+                    "seed": o.spec.seed,
+                    "horizon": o.spec.horizon,
+                    "status": o.status,
+                    "attempts": o.attempts,
+                    "wall_clock": o.wall_clock,
+                    "error": o.error,
+                    "metrics": (
+                        {
+                            "ws": o.result.metrics.weighted_speedup,
+                            "hs": o.result.metrics.harmonic_speedup,
+                            "ms": o.result.metrics.max_slowdown,
+                        }
+                        if o.result is not None
+                        else None
+                    ),
+                }
+                for o in result.outcomes
+            ],
+            "summary": {
+                "total": len(result.outcomes),
+                "executed": len(result.executed),
+                "cached": len(result.cached),
+                "failed": len(result.failed),
+                "cache_hit_rate": result.cache_hit_rate,
+                "wall_clock": result.wall_clock,
+                "store": store.stats.as_dict() if store else None,
+            },
+        }
+        print(json.dumps(doc, indent=2))
+    else:
+        print(render_report(result, store))
+    return 1 if result.failed else 0
+
+
 def _cmd_mix(args: argparse.Namespace, runner: Runner) -> int:
     mix = get_mix(args.mix)
     print(f"{mix.name}: {' '.join(mix.apps)}  [{mix.category}]")
@@ -176,7 +335,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "list":
             return _cmd_list()
-        runner = Runner(horizon=args.horizon, seed=args.seed)
+        if args.command == "campaign":
+            return _cmd_campaign(args)
+        store = None
+        if getattr(args, "store", None) is not None:
+            from .campaign import ResultStore, default_store_dir
+
+            store = ResultStore(
+                default_store_dir() if args.store == "auto" else args.store
+            )
+        runner = Runner(
+            horizon=args.horizon,
+            seed=args.seed,
+            store=store,
+            jobs=getattr(args, "jobs", 1),
+        )
         if args.command == "config":
             print(runner.config.describe())
             return 0

@@ -41,18 +41,16 @@ def _gmean_or_nan(values: Sequence[float]) -> float:
 def _metric_sweep(
     runner: Runner, mixes: Sequence[str], approaches: Sequence[str]
 ) -> Dict[str, Dict[str, object]]:
-    """Run mixes x approaches; returns per-approach WS/MS lists."""
-    out: Dict[str, Dict[str, object]] = {
-        approach: {"ws": [], "ms": [], "hs": []} for approach in approaches
-    }
-    for mix_name in mixes:
-        mix = get_mix(mix_name)
-        for approach in approaches:
-            metrics = runner.run_mix(mix, approach).metrics
-            out[approach]["ws"].append(metrics.weighted_speedup)
-            out[approach]["ms"].append(metrics.max_slowdown)
-            out[approach]["hs"].append(metrics.harmonic_speedup)
-    return out
+    """Run mixes x approaches; returns per-approach WS/MS lists.
+
+    Delegates to the campaign subsystem: with ``runner.jobs > 1`` the grid
+    fans out over worker processes, and with a ``runner.store`` attached
+    results persist across invocations. At ``jobs=1`` with no store this
+    is exactly the historical serial loop.
+    """
+    from ..campaign.api import sweep_metrics
+
+    return sweep_metrics(runner, mixes, approaches)
 
 
 def _sweep_result(
@@ -311,13 +309,7 @@ def f6_banks_sweep(
         columns=["colors", "ebp ws", "dbp ws", "ebp ms", "dbp ms"],
     )
     for label, organization in organizations:
-        config = replace(base.config, organization=organization)
-        sub = Runner(
-            config=config,
-            horizon=base.horizon,
-            seed=base.seed,
-            target_insts=base.target_insts,
-        )
+        sub = _sub_runner(base, replace(base.config, organization=organization))
         data = _metric_sweep(sub, mixes, ["ebp", "dbp"])
         result.rows.append(
             [
@@ -432,13 +424,23 @@ def f9_ablation(
     return result
 
 
-def _sub_runner(base: Runner, config: SystemConfig) -> Runner:
-    """A Runner sharing the base's scope but with a different config."""
+def _sub_runner(
+    base: Runner, config: SystemConfig, seed: Optional[int] = None
+) -> Runner:
+    """A Runner sharing the base's scope but a different config or seed.
+
+    Jobs and the persistent store carry over, so sensitivity sweeps built
+    from sub-runners parallelize and resume exactly like the main grid.
+    """
     return Runner(
         config=config,
         horizon=base.horizon,
-        seed=base.seed,
+        seed=base.seed if seed is None else seed,
         target_insts=base.target_insts,
+        validate=base.validate,
+        ahead_limit=base.ahead_limit,
+        store=base.store,
+        jobs=base.jobs,
     )
 
 
@@ -590,12 +592,7 @@ def f13_seed_robustness(
         columns=["seed", "ebp ws", "dbp ws", "ebp ms", "dbp ms", "C1 ws %", "C1 ms %"],
     )
     for seed in seeds:
-        sub = Runner(
-            config=base.config,
-            horizon=base.horizon,
-            seed=seed,
-            target_insts=base.target_insts,
-        )
+        sub = _sub_runner(base, base.config, seed=seed)
         data = _metric_sweep(sub, mixes, ["ebp", "dbp"])
         ebp_ws = _gmean_or_nan(data["ebp"]["ws"])
         dbp_ws = _gmean_or_nan(data["dbp"]["ws"])

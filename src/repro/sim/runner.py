@@ -12,8 +12,9 @@ The runner owns the methodology boilerplate every experiment shares:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
 
 from ..config import SystemConfig
 from ..core.integration import Approach, get_approach
@@ -22,6 +23,9 @@ from ..errors import ExperimentError
 from ..metrics import MetricSummary, slowdowns, summarize
 from ..workloads import Mix, generate_trace, get_profile
 from .system import System, SystemResult
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle
+    from ..campaign.store import ResultStore
 
 
 @dataclass(frozen=True)
@@ -68,33 +72,48 @@ class Runner:
         target_insts: int = 4_000_000,
         validate: bool = False,
         ahead_limit: int = 8192,
+        store: Optional["ResultStore"] = None,
+        jobs: int = 1,
     ) -> None:
         self.config = config if config is not None else SystemConfig()
         if horizon <= 0:
             raise ExperimentError("horizon must be positive")
+        if jobs < 1:
+            raise ExperimentError("jobs must be >= 1")
         self.horizon = horizon
         self.seed = seed
         self.target_insts = target_insts
         self.validate = validate
         self.ahead_limit = ahead_limit
-        self._trace_cache: Dict[str, Trace] = {}
-        self._alone_cache: Dict[str, float] = {}
+        #: Optional persistent result store (see :mod:`repro.campaign.store`)
+        #: consulted before and fed after every cacheable mix run.
+        self.store = store
+        #: Worker processes campaign-backed sweeps may fan out over.
+        self.jobs = jobs
+        self._trace_cache: Dict[tuple, Trace] = {}
+        self._alone_cache: Dict[tuple, float] = {}
         self._run_cache: Dict[tuple, RunResult] = {}
 
     # ------------------------------------------------------------------
     def trace_for(self, app: str) -> Trace:
-        """The (cached) synthetic trace for one application."""
-        trace = self._trace_cache.get(app)
+        """The (cached) synthetic trace for one application.
+
+        Keyed by (app, seed, target_insts) — the full generator input — so
+        mutating the Runner's fields can never serve a stale trace.
+        """
+        key = (app, self.seed, self.target_insts)
+        trace = self._trace_cache.get(key)
         if trace is None:
             trace = generate_trace(
                 get_profile(app), seed=self.seed, target_insts=self.target_insts
             )
-            self._trace_cache[app] = trace
+            self._trace_cache[key] = trace
         return trace
 
     def alone_ipc(self, app: str) -> float:
         """IPC of ``app`` running alone on the full machine (cached)."""
-        ipc = self._alone_cache.get(app)
+        key = (app, self.seed, self.target_insts)
+        ipc = self._alone_cache.get(key)
         if ipc is None:
             config = replace(self.config, num_cores=1)
             config = config.with_scheduler("frfcfs")
@@ -109,10 +128,58 @@ class Runner:
             ipc = result.threads[0].ipc
             if ipc <= 0:
                 raise ExperimentError(f"alone run of {app!r} retired nothing")
-            self._alone_cache[app] = ipc
+            self._alone_cache[key] = ipc
         return ipc
 
     # ------------------------------------------------------------------
+    def run_cache_key(self, apps: Sequence[str], approach: str) -> tuple:
+        """In-memory cache key binding the *resolved* approach.
+
+        Includes the policy and scheduler names and parameters the approach
+        label resolves to, so two registrations sharing a label can never
+        collide — in this cache or in the persistent store's hash.
+        """
+        spec = get_approach(approach)
+        return (
+            tuple(apps),
+            approach,
+            spec.policy,
+            tuple(sorted(spec.policy_params.items())),
+            spec.scheduler,
+            tuple(sorted(spec.scheduler_params.items())),
+        )
+
+    def cached_run(
+        self, apps: Sequence[str], approach: str
+    ) -> Optional[RunResult]:
+        """The in-memory cached result for (apps, approach), if any."""
+        return self._run_cache.get(self.run_cache_key(apps, approach))
+
+    def adopt_result(
+        self, apps: Sequence[str], approach: str, result: RunResult
+    ) -> None:
+        """Insert an externally-computed result (e.g. a campaign worker's).
+
+        The caller asserts the result came from this Runner's exact scope
+        (config, seed, horizon, target_insts) — the campaign store key
+        guarantees that for results fetched through it.
+        """
+        self._run_cache[self.run_cache_key(apps, approach)] = result
+
+    def _store_key(self, apps: Sequence[str], approach: str) -> str:
+        from ..campaign.store import run_key
+
+        return run_key(
+            self.config,
+            apps,
+            approach,
+            seed=self.seed,
+            horizon=self.horizon,
+            target_insts=self.target_insts,
+            ahead_limit=self.ahead_limit,
+            validate=self.validate,
+        )
+
     def run_apps(
         self,
         apps: Sequence[str],
@@ -121,13 +188,24 @@ class Runner:
     ) -> RunResult:
         """Run a list of applications under a named approach.
 
-        Results are cached per (apps, approach): experiments that share runs
-        (e.g. the WS and MS views of the same sweep) pay for them once.
+        Results are cached per (apps, resolved approach): experiments that
+        share runs (e.g. the WS and MS views of the same sweep) pay for
+        them once per process — and, when a persistent ``store`` is
+        attached, once *ever* per store.
         """
-        cache_key = (tuple(apps), approach)
+        cache_key = self.run_cache_key(apps, approach)
         cached = self._run_cache.get(cache_key)
         if cached is not None:
             return cached
+        store_key = None
+        if self.store is not None:
+            store_key = self._store_key(apps, approach)
+            hit = self.store.get(store_key)
+            if hit is not None:
+                result, _wall = hit
+                self._run_cache[cache_key] = result
+                return result
+        started = time.perf_counter()
         spec = get_approach(approach)
         config = self._configure(spec, len(apps))
         traces = [self.trace_for(app) for app in apps]
@@ -162,6 +240,20 @@ class Runner:
             shared_ipcs=shared,
         )
         self._run_cache[cache_key] = run_result
+        if self.store is not None and store_key is not None:
+            self.store.put(
+                store_key,
+                run_result,
+                time.perf_counter() - started,
+                describe={
+                    "mix": metrics.mix,
+                    "apps": list(apps),
+                    "approach": approach,
+                    "seed": self.seed,
+                    "horizon": self.horizon,
+                    "target_insts": self.target_insts,
+                },
+            )
         return run_result
 
     def run_mix(self, mix: Mix, approach: str) -> RunResult:

@@ -1,0 +1,418 @@
+"""Campaign subsystem tests: planner, store, executor, sweep integration."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    ResultStore,
+    RunSpec,
+    execute,
+    plan_sweep,
+    run_key,
+    sweep_metrics,
+)
+from repro.campaign.executor import _WORKER_RUNNERS
+from repro.errors import ExperimentError
+from repro.sim.runner import Runner
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture
+def specs(small_config):
+    """A tiny two-run plan on the fast test configuration."""
+    return [
+        RunSpec(
+            apps=("lbm", "gcc"),
+            approach=approach,
+            config=small_config,
+            horizon=30_000,
+            target_insts=200_000,
+            mix_name="TEST",
+        )
+        for approach in ("shared-frfcfs", "ebp")
+    ]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_worker_caches():
+    """Keep the process-local runner cache from leaking between tests."""
+    _WORKER_RUNNERS.clear()
+    yield
+    _WORKER_RUNNERS.clear()
+
+
+class TestPlanner:
+    def test_grid_expansion_order_and_size(self):
+        spec = CampaignSpec(
+            mixes=("M4", "M7"),
+            approaches=("shared-frfcfs", "ebp"),
+            seeds=(1, 2),
+            horizons=(20_000,),
+        )
+        plan = spec.plan()
+        assert len(plan) == 8
+        assert plan[0].mix_name == "M4"
+        assert plan[0].approach == "shared-frfcfs"
+        assert [s.seed for s in plan[:4]] == [1, 1, 1, 1]
+
+    def test_unknown_mix_rejected_eagerly(self):
+        with pytest.raises(Exception):
+            CampaignSpec(mixes=("M99",))
+
+    def test_unknown_approach_rejected_eagerly(self):
+        with pytest.raises(Exception):
+            CampaignSpec(mixes=("M4",), approaches=("warp-drive",))
+
+    def test_plan_sweep_mirrors_runner_scope(self, fast_runner):
+        plan = plan_sweep(fast_runner, ["M4"], ["ebp"])
+        # fast_runner's config has 2 cores; M4 has 4 apps — the campaign
+        # worker reconfigures core count per run exactly like run_apps does.
+        assert plan[0].horizon == fast_runner.horizon
+        assert plan[0].seed == fast_runner.seed
+        assert plan[0].target_insts == fast_runner.target_insts
+        assert plan[0].config is fast_runner.config
+
+
+class TestKeys:
+    def test_key_deterministic_within_process(self, specs):
+        assert specs[0].key() == specs[0].key()
+        assert specs[0].key() != specs[1].key()
+
+    def test_key_depends_on_each_scope_field(self, small_config):
+        base = RunSpec(
+            apps=("lbm", "gcc"), approach="ebp", config=small_config
+        )
+        variants = [
+            RunSpec(apps=("lbm", "mcf"), approach="ebp", config=small_config),
+            RunSpec(apps=("lbm", "gcc"), approach="dbp", config=small_config),
+            RunSpec(
+                apps=("lbm", "gcc"), approach="ebp", config=small_config, seed=2
+            ),
+            RunSpec(
+                apps=("lbm", "gcc"),
+                approach="ebp",
+                config=small_config,
+                horizon=99_999,
+            ),
+            RunSpec(
+                apps=("lbm", "gcc"),
+                approach="ebp",
+                config=small_config,
+                target_insts=123_456,
+            ),
+        ]
+        keys = {spec.key() for spec in variants}
+        assert base.key() not in keys
+        assert len(keys) == len(variants)
+
+    def test_key_stable_across_processes(self, small_config):
+        """The content hash must not depend on process state (hash seed)."""
+        spec = RunSpec(apps=("lbm", "gcc"), approach="ebp", config=small_config)
+        # Rebuild the same config in the child instead of importing fixtures.
+        child = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                (
+                    "import sys; sys.path.insert(0, 'src')\n"
+                    "from repro.campaign import RunSpec\n"
+                    "from repro.config import (SystemConfig, DRAMOrganization,"
+                    " CoreConfig, CacheConfig, ControllerConfig, OSConfig)\n"
+                    "config = SystemConfig(num_cores=2, clock_ratio=2,"
+                    " dram_preset='DDR3-1066',"
+                    " organization=DRAMOrganization(channels=1,"
+                    " ranks_per_channel=1, banks_per_rank=4, rows_per_bank=256,"
+                    " row_size_bytes=8192),"
+                    " core=CoreConfig(width=4, rob_size=64, mshrs=8),"
+                    " cache=CacheConfig(size_bytes=16*1024, associativity=4),"
+                    " controller=ControllerConfig(read_queue_depth=32,"
+                    " write_queue_depth=32, write_high_watermark=24,"
+                    " write_low_watermark=8),"
+                    " osmm=OSConfig(migration_budget_pages=4,"
+                    " migration_lines_per_page=2))\n"
+                    "print(RunSpec(apps=('lbm', 'gcc'), approach='ebp',"
+                    " config=config).key())"
+                ),
+            ],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert child.stdout.strip() == spec.key()
+
+    def test_run_key_binds_resolved_scheduler(
+        self, small_config, monkeypatch
+    ):
+        from repro.core.integration import APPROACHES, Approach
+
+        monkeypatch.setitem(
+            APPROACHES, "tmp-x", Approach("tmp-x", "shared", "fcfs")
+        )
+        key_fcfs = run_key(
+            small_config,
+            ("lbm", "gcc"),
+            "tmp-x",
+            seed=1,
+            horizon=30_000,
+            target_insts=200_000,
+        )
+        monkeypatch.setitem(
+            APPROACHES, "tmp-x", Approach("tmp-x", "shared", "frfcfs")
+        )
+        key_frfcfs = run_key(
+            small_config,
+            ("lbm", "gcc"),
+            "tmp-x",
+            seed=1,
+            horizon=30_000,
+            target_insts=200_000,
+        )
+        assert key_fcfs != key_frfcfs
+
+
+class TestStore:
+    def test_hit_miss_accounting_and_round_trip(self, tmp_path, fast_runner):
+        store = ResultStore(tmp_path / "store")
+        result = fast_runner.run_apps(["lbm", "gcc"], "shared-frfcfs")
+        key = "ab" + "0" * 62
+        assert store.get(key) is None
+        assert store.stats.misses == 1
+        store.put(key, result, wall_clock=2.5)
+        assert store.stats.writes == 1
+        got = store.get(key)
+        assert got is not None
+        restored, wall = got
+        assert wall == 2.5
+        assert store.stats.hits == 1
+        assert store.stats.wall_saved == 2.5
+        assert restored.metrics.summary == result.metrics.summary
+        assert restored.metrics.slowdowns == result.metrics.slowdowns
+        assert restored.alone_ipcs == result.alone_ipcs
+        assert restored.shared_ipcs == result.shared_ipcs
+        assert restored.system.threads[0].ipc == result.system.threads[0].ipc
+
+    def test_corrupt_entry_quarantined(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = "cd" + "1" * 62
+        path = store.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text("{ not json")
+        assert store.get(key) is None
+        assert store.stats.corrupt == 1
+        assert store.stats.misses == 1
+        assert not path.exists()
+        assert path.with_name(path.name + ".corrupt").exists()
+
+    def test_wrong_key_entry_quarantined(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = "ef" + "2" * 62
+        path = store.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"version": 999, "key": key}))
+        assert store.get(key) is None
+        assert store.stats.corrupt == 1
+
+
+class TestExecutor:
+    def test_pooled_matches_serial_bit_for_bit(self, specs):
+        # Pooled first: worker processes compute everything from scratch
+        # (running serial first would leak warm in-process caches into the
+        # forked workers and make the comparison vacuous).
+        pooled = execute(specs, jobs=2)
+        _WORKER_RUNNERS.clear()
+        serial = execute(specs, jobs=1)
+        assert [o.status for o in pooled.outcomes] == ["ok", "ok"]
+        assert [o.status for o in serial.outcomes] == ["ok", "ok"]
+        for a, b in zip(pooled.outcomes, serial.outcomes):
+            assert a.result.metrics.summary == b.result.metrics.summary
+            assert a.result.metrics.slowdowns == b.result.metrics.slowdowns
+            assert a.result.shared_ipcs == b.result.shared_ipcs
+            assert a.result.alone_ipcs == b.result.alone_ipcs
+
+    def test_store_resume_serves_second_pass_from_disk(self, tmp_path, specs):
+        store = ResultStore(tmp_path / "store")
+        first = execute(specs, jobs=1, store=store)
+        assert [o.status for o in first.outcomes] == ["ok", "ok"]
+        second = execute(specs, jobs=1, store=store)
+        assert [o.status for o in second.outcomes] == ["cached", "cached"]
+        assert second.cache_hit_rate == 1.0
+        assert store.stats.hits == 2
+        # Metrics survive the JSON round trip exactly (floats untouched).
+        for a, b in zip(first.outcomes, second.outcomes):
+            assert a.result.metrics.summary == b.result.metrics.summary
+
+    def test_partial_store_resumes_only_missing_runs(self, tmp_path, specs):
+        store = ResultStore(tmp_path / "store")
+        execute(specs[:1], jobs=1, store=store)
+        result = execute(specs, jobs=1, store=store)
+        assert [o.status for o in result.outcomes] == ["cached", "ok"]
+
+    def test_failed_run_does_not_abort_grid(self, specs):
+        bad = RunSpec(
+            apps=("lbm", "gcc"),
+            approach="warp-drive",  # unknown: the worker raises ConfigError
+            config=specs[0].config,
+            horizon=30_000,
+            target_insts=200_000,
+        )
+        result = execute([bad] + specs, jobs=1)
+        assert result.outcomes[0].status == "failed"
+        assert "warp-drive" in result.outcomes[0].error
+        assert [o.status for o in result.outcomes[1:]] == ["ok", "ok"]
+
+    def test_timeout_enforced_serial(self, small_config):
+        # Far more work than 50ms allows; SIGALRM must cut it off.
+        big = RunSpec(
+            apps=("lbm", "gcc"),
+            approach="shared-frfcfs",
+            config=small_config,
+            horizon=400_000,
+            target_insts=4_000_000,
+        )
+        result = execute([big], jobs=1, retries=0, timeout=0.05)
+        assert result.outcomes[0].status == "failed"
+        assert "timeout" in result.outcomes[0].error
+
+    def test_failed_run_retried_then_reported_pooled(self, specs):
+        bad = RunSpec(
+            apps=("lbm", "gcc"),
+            approach="warp-drive",
+            config=specs[0].config,
+            horizon=30_000,
+            target_insts=200_000,
+        )
+        result = execute([bad], jobs=2, retries=1)
+        outcome = result.outcomes[0]
+        assert outcome.status == "failed"
+        assert outcome.attempts == 2  # failed twice, then reported
+
+
+class TestSweepIntegration:
+    def test_sweep_metrics_matches_direct_runs(self, small_config):
+        serial = Runner(
+            config=small_config, horizon=30_000, target_insts=200_000
+        )
+        data = sweep_metrics(serial, ["D2"], ["shared-frfcfs", "ebp"])
+        direct = Runner(
+            config=small_config, horizon=30_000, target_insts=200_000
+        )
+        from repro.workloads import get_mix
+
+        expected = direct.run_mix(get_mix("D2"), "ebp").metrics
+        assert data["ebp"]["ws"] == [expected.weighted_speedup]
+        assert data["ebp"]["ms"] == [expected.max_slowdown]
+        assert data["ebp"]["hs"] == [expected.harmonic_speedup]
+
+    def test_parallel_sweep_adopts_into_runner_cache(self, small_config):
+        runner = Runner(
+            config=small_config,
+            horizon=30_000,
+            target_insts=200_000,
+            jobs=2,
+        )
+        data = sweep_metrics(runner, ["D2"], ["shared-frfcfs", "ebp"])
+        assert runner.cached_run(("lbm", "h264ref"), "ebp") is not None
+        assert len(data["ebp"]["ws"]) == 1
+
+    def test_parallel_sweep_failure_raises_experiment_error(
+        self, small_config, monkeypatch
+    ):
+        from repro.core.integration import APPROACHES, Approach
+
+        # Registered (so planning passes) but the policy name is bogus, so
+        # every worker attempt fails and the sweep must surface the error.
+        monkeypatch.setitem(
+            APPROACHES, "tmp-bad", Approach("tmp-bad", "no-such-policy", "frfcfs")
+        )
+        runner = Runner(
+            config=small_config,
+            horizon=30_000,
+            target_insts=200_000,
+            jobs=2,
+        )
+        with pytest.raises(ExperimentError):
+            sweep_metrics(runner, ["D2"], ["tmp-bad"])
+
+
+class TestRunnerStoreIntegration:
+    def test_runner_reads_and_writes_store(self, tmp_path, small_config):
+        store = ResultStore(tmp_path / "store")
+        first = Runner(
+            config=small_config,
+            horizon=30_000,
+            target_insts=200_000,
+            store=store,
+        )
+        a = first.run_apps(["lbm", "gcc"], "shared-frfcfs")
+        assert store.stats.writes == 1
+        second = Runner(
+            config=small_config,
+            horizon=30_000,
+            target_insts=200_000,
+            store=store,
+        )
+        b = second.run_apps(["lbm", "gcc"], "shared-frfcfs")
+        assert store.stats.hits == 1
+        assert b.metrics.summary == a.metrics.summary
+
+
+class TestCampaignCLI:
+    def test_campaign_cli_runs_and_resumes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        argv = [
+            "--horizon",
+            "20000",
+            "campaign",
+            "--mixes",
+            "D2",
+            "--approaches",
+            "shared-frfcfs",
+            "--jobs",
+            "1",
+            "--store",
+            str(tmp_path / "store"),
+            "--quiet",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "1 executed" in out
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "1 cached" in out
+        assert "100% hit rate" in out
+
+    def test_campaign_cli_json_format(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "--horizon",
+                    "20000",
+                    "campaign",
+                    "--mixes",
+                    "D2",
+                    "--approaches",
+                    "shared-frfcfs",
+                    "--no-store",
+                    "--quiet",
+                    "--format",
+                    "json",
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["summary"]["total"] == 1
+        assert doc["runs"][0]["status"] == "ok"
+        assert doc["runs"][0]["metrics"]["ws"] > 0

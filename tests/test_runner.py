@@ -21,13 +21,29 @@ class TestTraceCache:
     def test_traces_seeded(self, fast_runner):
         assert fast_runner.trace_for("lbm").name == "lbm"
 
+    def test_trace_cache_keyed_by_generator_inputs(self, fast_runner):
+        """Mutating seed or target_insts must never serve a stale trace."""
+        a = fast_runner.trace_for("lbm")
+        fast_runner.seed = 7
+        b = fast_runner.trace_for("lbm")
+        assert a is not b
+        fast_runner.seed = 1
+        assert fast_runner.trace_for("lbm") is a
+        fast_runner.target_insts = 100_000
+        c = fast_runner.trace_for("lbm")
+        assert c is not a
+
 
 class TestAloneRuns:
     def test_alone_ipc_positive_and_cached(self, fast_runner):
         first = fast_runner.alone_ipc("lbm")
         assert first > 0
         assert fast_runner.alone_ipc("lbm") == first
-        assert "lbm" in fast_runner._alone_cache
+        assert (
+            "lbm",
+            fast_runner.seed,
+            fast_runner.target_insts,
+        ) in fast_runner._alone_cache
 
     def test_light_app_faster_alone(self, fast_runner):
         assert fast_runner.alone_ipc("gcc") > fast_runner.alone_ipc("lbm")
@@ -64,6 +80,47 @@ class TestRunApps:
     def test_default_mix_name_joins_apps(self, fast_runner):
         result = fast_runner.run_apps(["lbm", "gcc"], "shared-frfcfs")
         assert result.metrics.mix == "lbm+gcc"
+
+
+class TestRunCacheKey:
+    def test_key_binds_resolved_scheduler(self, fast_runner, monkeypatch):
+        """Two registrations sharing a label must not share cache entries."""
+        from repro.core.integration import APPROACHES, Approach
+
+        monkeypatch.setitem(
+            APPROACHES, "tmp-x", Approach("tmp-x", "shared", "fcfs")
+        )
+        key_fcfs = fast_runner.run_cache_key(("lbm", "gcc"), "tmp-x")
+        monkeypatch.setitem(
+            APPROACHES, "tmp-x", Approach("tmp-x", "shared", "frfcfs")
+        )
+        key_frfcfs = fast_runner.run_cache_key(("lbm", "gcc"), "tmp-x")
+        assert key_fcfs != key_frfcfs
+
+    def test_key_binds_scheduler_params(self, fast_runner, monkeypatch):
+        from repro.core.integration import APPROACHES, Approach
+
+        monkeypatch.setitem(
+            APPROACHES,
+            "tmp-x",
+            Approach("tmp-x", "shared", "tcm", scheduler_params={"cluster_fraction": 0.2}),
+        )
+        key_a = fast_runner.run_cache_key(("lbm", "gcc"), "tmp-x")
+        monkeypatch.setitem(
+            APPROACHES,
+            "tmp-x",
+            Approach("tmp-x", "shared", "tcm", scheduler_params={"cluster_fraction": 0.4}),
+        )
+        key_b = fast_runner.run_cache_key(("lbm", "gcc"), "tmp-x")
+        assert key_a != key_b
+
+    def test_adopt_result_round_trips(self, fast_runner, mix):
+        result = fast_runner.run_mix(mix, "shared-frfcfs")
+        assert fast_runner.cached_run(mix.apps, "shared-frfcfs") is result
+        fast_runner._run_cache.clear()
+        assert fast_runner.cached_run(mix.apps, "shared-frfcfs") is None
+        fast_runner.adopt_result(mix.apps, "shared-frfcfs", result)
+        assert fast_runner.run_mix(mix, "shared-frfcfs") is result
 
 
 class TestRunCustom:
