@@ -1,0 +1,93 @@
+"""T4 (tooling): telemetry recorder overhead and result neutrality.
+
+Two claims guard the telemetry layer's "free when off, cheap when on"
+contract:
+
+* telemetry must never change what the simulation computes — a traced run
+  and an untraced run produce identical :class:`SystemResult`s;
+* disabled telemetry leaves no probes on the controllers (structurally
+  zero per-request cost), and enabled telemetry stays within a small
+  constant factor of the untraced run.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.config import SystemConfig
+from repro.core.dbp import DBPConfig, DynamicBankPartitioning
+from repro.sim.system import System
+from repro.telemetry import TelemetryRecorder
+from repro.workloads import AppProfile, generate_trace
+
+# Not a multiple of either cadence: a boundary landing exactly on the
+# horizon would (correctly) not fire, breaking the floor-division asserts.
+HORIZON = 85_000
+EPOCH = 20_000
+QUANTUM = 10_000
+
+HEAVY = AppProfile("heavy", 25.0, 0.7, 4, 0.3, 1)
+LIGHT = AppProfile("light", 0.4, 0.6, 2, 0.2, 1)
+
+
+def _system(recorder=None):
+    config = SystemConfig().with_scheduler("tcm", quantum_cycles=QUANTUM)
+    profiles = [HEAVY, LIGHT] * ((config.num_cores + 1) // 2)
+    traces = [
+        generate_trace(profile, seed=1, target_insts=500_000)
+        for profile in profiles[: config.num_cores]
+    ]
+    policy = DynamicBankPartitioning(DBPConfig(epoch_cycles=EPOCH))
+    return System(
+        config, traces, horizon=HORIZON, policy=policy, telemetry=recorder
+    )
+
+
+def _timed_run(recorder=None):
+    system = _system(recorder)
+    started = time.perf_counter()
+    result = system.run()
+    return result, time.perf_counter() - started, system
+
+
+def bench_t4_telemetry_overhead(benchmark):
+    def body():
+        # Interleave off/on runs and keep the best of two so a scheduler
+        # hiccup on one run cannot fake an overhead regression.
+        walls = {"off": [], "on": []}
+        results = {}
+        recorders = []
+        for _ in range(2):
+            result, wall, system = _timed_run()
+            walls["off"].append(wall)
+            results["off"] = result
+            assert all(len(c._listeners) == 1 for c in system.controllers)
+            recorder = TelemetryRecorder()
+            result, wall, _system_on = _timed_run(recorder)
+            walls["on"].append(wall)
+            results["on"] = result
+            recorders.append(recorder)
+        return walls, results, recorders
+
+    walls, results, recorders = benchmark.pedantic(body, rounds=1, iterations=1)
+
+    # Telemetry must be invisible to the simulation itself.
+    assert results["on"].threads == results["off"].threads
+    assert results["on"].total_commands == results["off"].total_commands
+    assert results["on"].pages_migrated == results["off"].pages_migrated
+
+    # ... while actually recording the run.
+    summary = recorders[-1].summary()
+    assert summary["policy_epochs"] == HORIZON // EPOCH
+    assert summary["quanta"] == HORIZON // QUANTUM
+
+    off = min(walls["off"])
+    on = min(walls["on"])
+    overhead = (on - off) / off if off else 0.0
+    print()
+    print(
+        f"T4 telemetry overhead: off={off * 1e3:.1f} ms "
+        f"on={on * 1e3:.1f} ms (+{overhead * 100.0:.1f}%)"
+    )
+    # Generous CI-noise bound; typical overhead is a few percent.
+    assert overhead < 0.5

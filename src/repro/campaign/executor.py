@@ -97,8 +97,10 @@ _WORKER_STORES: Dict[str, ResultStore] = {}
 def _runner_for(spec: RunSpec):
     """A process-local Runner matching the spec's scope (cached)."""
     from ..sim.runner import Runner
+    from ..telemetry import TelemetryConfig
 
-    key = spec.runner_key()
+    telemetry = getattr(spec, "telemetry", False)
+    key = (spec.runner_key(), telemetry)
     runner = _WORKER_RUNNERS.get(key)
     if runner is None:
         runner = Runner(
@@ -108,6 +110,7 @@ def _runner_for(spec: RunSpec):
             target_insts=spec.target_insts,
             validate=spec.validate,
             ahead_limit=spec.ahead_limit,
+            telemetry=TelemetryConfig() if telemetry else None,
         )
         _WORKER_RUNNERS[key] = runner
     return runner
@@ -157,12 +160,12 @@ def _worker(
         if store is None:
             store = ResultStore(store_root)
             _WORKER_STORES[store_root] = store
-        store.put(spec.key(), result, wall, describe=_describe(spec))
+        store.put(spec.key(), result, wall, describe=_describe(spec, result))
     return result, wall
 
 
-def _describe(spec: RunSpec) -> Dict[str, object]:
-    return {
+def _describe(spec: RunSpec, result: Optional[RunResult] = None) -> Dict[str, object]:
+    doc: Dict[str, object] = {
         "mix": spec.mix_name or "+".join(spec.apps),
         "apps": list(spec.apps),
         "approach": spec.approach,
@@ -170,6 +173,9 @@ def _describe(spec: RunSpec) -> Dict[str, object]:
         "horizon": spec.horizon,
         "target_insts": spec.target_insts,
     }
+    if result is not None and result.telemetry is not None:
+        doc["telemetry"] = result.telemetry
+    return doc
 
 
 # ---------------------------------------------------------------------------
@@ -240,7 +246,9 @@ def _execute_serial(
             )
         else:
             if store is not None:
-                store.put(spec.key(), result, wall, describe=_describe(spec))
+                store.put(
+                    spec.key(), result, wall, describe=_describe(spec, result)
+                )
             outcomes[index] = RunOutcome(
                 spec, "ok", result, wall_clock=wall, attempts=1
             )

@@ -37,6 +37,11 @@ class RunSpec:
     ahead_limit: int = 8192
     validate: bool = False
     mix_name: Optional[str] = None
+    #: Record per-epoch telemetry in the worker and attach its summary to
+    #: the store entry. Deliberately NOT part of :meth:`key` — telemetry
+    #: never changes simulation results, so traced and untraced runs share
+    #: one store entry.
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         if not self.apps:
@@ -88,6 +93,7 @@ class CampaignSpec:
     target_insts: int = 4_000_000
     ahead_limit: int = 8192
     validate: bool = False
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         if not self.mixes:
@@ -120,6 +126,7 @@ class CampaignSpec:
                                 ahead_limit=self.ahead_limit,
                                 validate=self.validate,
                                 mix_name=mix.name,
+                                telemetry=self.telemetry,
                             )
                         )
         return specs

@@ -42,7 +42,10 @@ from ..sim.system import SystemResult, ThreadResult
 
 #: Salt hashed into every key. Bump on any change that alters what a
 #: simulation computes, so old entries become unreachable rather than wrong.
-STORE_VERSION = 1
+#: 2: independent scheduler-quantum/policy-epoch cadences; migration traffic
+#:    excluded from per-thread accounting; read latency measured at data
+#:    return (CL + tBURST included).
+STORE_VERSION = 2
 
 
 # ---------------------------------------------------------------------------
@@ -167,6 +170,7 @@ def encode_run_result(result: RunResult) -> Dict[str, object]:
         },
         "alone_ipcs": {str(t): v for t, v in result.alone_ipcs.items()},
         "shared_ipcs": {str(t): v for t, v in result.shared_ipcs.items()},
+        "telemetry": result.telemetry,
     }
 
 
@@ -208,6 +212,7 @@ def decode_run_result(doc: Dict[str, object]) -> RunResult:
         system=system,
         alone_ipcs={int(t): float(v) for t, v in doc["alone_ipcs"].items()},
         shared_ipcs={int(t): float(v) for t, v in doc["shared_ipcs"].items()},
+        telemetry=doc.get("telemetry"),
     )
 
 

@@ -8,6 +8,8 @@ Subcommands:
 * ``campaign`` — run a (mix x approach x seed) grid in parallel, backed by
   the persistent result store (re-runs are served from disk).
 * ``mix``      — run a single mix under one or more approaches.
+* ``trace``    — run one mix with per-epoch telemetry and print the epoch
+  timeline and the policy's decisions table (optionally export JSONL).
 * ``config``   — print the simulated system configuration.
 """
 
@@ -142,6 +144,41 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress per-run progress lines on stderr",
     )
+    campaign_parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="record per-epoch telemetry and attach summaries to the store",
+    )
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="run one mix with telemetry; print epoch timeline + decisions",
+    )
+    trace_parser.add_argument("mix", help="mix name, e.g. M4")
+    trace_parser.add_argument(
+        "--approach",
+        default="dbp-tcm",
+        help="approach to trace (default: dbp-tcm)",
+    )
+    trace_parser.add_argument(
+        "--last",
+        type=int,
+        default=None,
+        metavar="N",
+        help="show only the newest N epochs in the timeline",
+    )
+    trace_parser.add_argument(
+        "--jsonl",
+        default=None,
+        metavar="PATH",
+        help="also export every recorded epoch as JSON lines to PATH",
+    )
+    trace_parser.add_argument(
+        "--capacity",
+        type=int,
+        default=4096,
+        help="telemetry ring-buffer capacity in epochs (default 4096)",
+    )
 
     mix_parser = sub.add_parser("mix", help="run one mix under approaches")
     mix_parser.add_argument("mix", help="mix name, e.g. M1")
@@ -229,6 +266,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         ),
         seeds=tuple(args.seeds) if args.seeds else (args.seed,),
         horizons=(args.horizon,),
+        telemetry=args.telemetry,
     )
     plan = spec.plan()
     store = None
@@ -305,6 +343,48 @@ def _cmd_mix(args: argparse.Namespace, runner: Runner) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .telemetry import TelemetryConfig, render_decisions, render_timeline
+
+    mix = get_mix(args.mix)
+    runner = Runner(
+        horizon=args.horizon,
+        seed=args.seed,
+        telemetry=TelemetryConfig(capacity=args.capacity),
+    )
+    result = runner.run_mix(mix, args.approach)
+    recorder = runner.last_telemetry
+    if recorder is None:  # pragma: no cover - trace never attaches a store
+        print("error: no telemetry was recorded", file=sys.stderr)
+        return 1
+    metrics = result.metrics
+    print(
+        f"{mix.name} under {args.approach}  "
+        f"(horizon {args.horizon}, seed {args.seed})"
+    )
+    print(
+        f"WS={metrics.weighted_speedup:.3f} "
+        f"HS={metrics.harmonic_speedup:.3f} "
+        f"MS={metrics.max_slowdown:.3f}"
+    )
+    summary = result.telemetry or {}
+    print(
+        f"epochs={summary.get('epochs', 0)} "
+        f"quanta={summary.get('quanta', 0)} "
+        f"policy_epochs={summary.get('policy_epochs', 0)} "
+        f"repartitions={summary.get('repartitions', '-')} "
+        f"pages_migrated={summary.get('pages_migrated', '-')}"
+    )
+    print("\nEpoch timeline (Q = scheduler quantum, P = policy epoch):")
+    print(render_timeline(recorder, last=args.last))
+    print("\nPolicy decisions:")
+    print(render_decisions(recorder))
+    if args.jsonl:
+        recorder.dump_jsonl(args.jsonl)
+        print(f"\nwrote {len(recorder.records)} epoch records to {args.jsonl}")
+    return 0
+
+
 def _cmd_traces(args: argparse.Namespace, runner: Runner) -> int:
     from .workloads import analyze_trace
 
@@ -337,6 +417,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_list()
         if args.command == "campaign":
             return _cmd_campaign(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         store = None
         if getattr(args, "store", None) is not None:
             from .campaign import ResultStore, default_store_dir

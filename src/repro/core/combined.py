@@ -46,3 +46,17 @@ class CombinedPartitioning(PartitionPolicy):
     def stat_repartitions(self) -> int:
         """Repartitioning count (bank dimension; the dimensions tick together)."""
         return self.bank_policy.stat_repartitions
+
+    # Telemetry reads these duck-typed fields off any policy; delegate to
+    # the bank dimension, which owns the per-thread color decisions.
+    @property
+    def stat_pages_migrated(self) -> int:
+        return self.bank_policy.stat_pages_migrated
+
+    @property
+    def last_allocation(self):
+        return self.bank_policy.last_allocation
+
+    @property
+    def last_demands(self):
+        return self.bank_policy.last_demands

@@ -76,6 +76,9 @@ class DynamicBankPartitioning(PartitionPolicy):
         self.epoch_cycles = config.epoch_cycles
         self.estimator = BankDemandEstimator(config.demand)
         self.last_allocation: Dict[int, List[int]] = {}
+        #: Smoothed demand behind the latest allocation, JSON-friendly:
+        #: {thread_id: {"intensive": bool, "banks": int}} (telemetry reads it).
+        self.last_demands: Dict[int, Dict[str, object]] = {}
         self._smoothed_demand: Dict[int, float] = {}
         self.stat_repartitions = 0
         self.stat_pages_migrated = 0
@@ -110,6 +113,10 @@ class DynamicBankPartitioning(PartitionPolicy):
         num_threads = context.num_threads
         total_colors = context.total_bank_colors
         demands = self._smooth(self.estimator.estimate(snapshot, num_threads))
+        self.last_demands = {
+            d.thread_id: {"intensive": d.intensive, "banks": d.banks}
+            for d in demands.values()
+        }
         intensive = [d for d in demands.values() if d.intensive]
         pooled = [d for d in demands.values() if not d.intensive]
         if not self.config.pool_non_intensive:

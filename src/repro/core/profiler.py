@@ -17,7 +17,7 @@ policies deliberately consume the same cheap hardware counters.
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from ..memctrl.request import Request
 from ..memctrl.schedulers.base import ProfileSnapshot, ThreadProfile
@@ -82,7 +82,13 @@ class ThreadProfiler:
         if count == 0:
             state.active_banks += 1
 
-    def on_cas(self, request: Request, now: int, row_hit: bool) -> None:
+    def on_cas(
+        self,
+        request: Request,
+        now: int,
+        row_hit: bool,
+        data_end: Optional[int] = None,
+    ) -> None:
         if request.is_migration:
             return
         state = self._threads[request.thread_id]

@@ -37,8 +37,34 @@ class ControllerStats:
         self.per_thread_row_hits: Dict[int, int] = {}
         self.per_thread_latency_sum: Dict[int, int] = {}
         self.data_bus_busy = 0
+        #: OS page-copy CAS commands, kept out of the performance counters
+        #: above but still charged to the data bus.
+        self.migration_reads = 0
+        self.migration_writes = 0
 
-    def record_cas(self, request: Request, now: int, row_hit: bool, burst: int) -> None:
+    def record_cas(
+        self,
+        request: Request,
+        now: int,
+        row_hit: bool,
+        burst: int,
+        data_end: int,
+    ) -> None:
+        """Account one served CAS.
+
+        ``data_end`` is the cycle the last data beat crosses the bus — read
+        latency is measured to there, not to CAS issue, so it includes
+        CL + tBURST. Migration traffic occupies the bus (and is counted as
+        such) but is excluded from every performance counter, per the
+        :class:`~repro.memctrl.request.Request` contract.
+        """
+        self.data_bus_busy += burst
+        if request.is_migration:
+            if request.is_write:
+                self.migration_writes += 1
+            else:
+                self.migration_reads += 1
+            return
         thread = request.thread_id
         if request.is_write:
             self.writes_served += 1
@@ -46,7 +72,7 @@ class ControllerStats:
         else:
             self.reads_served += 1
             self.per_thread_reads[thread] = self.per_thread_reads.get(thread, 0) + 1
-            latency = now - request.arrival
+            latency = data_end - request.arrival
             self.read_latency_sum += latency
             self.per_thread_latency_sum[thread] = (
                 self.per_thread_latency_sum.get(thread, 0) + latency
@@ -58,7 +84,6 @@ class ControllerStats:
             )
         else:
             self.row_misses += 1
-        self.data_bus_busy += burst
 
     @property
     def row_hit_rate(self) -> float:
@@ -328,10 +353,12 @@ class ChannelController:
         queue.remove(request)
         request.served_at = now
         row_hit = not request.needed_activate
-        self.stats.record_cas(request, now, row_hit, self.channel.timings.tBURST)
+        self.stats.record_cas(
+            request, now, row_hit, self.channel.timings.tBURST, result
+        )
         self.scheduler.on_served(request, now)
         for listener in self._listeners:
-            listener.on_cas(request, now, row_hit)
+            listener.on_cas(request, now, row_hit, result)
         if not is_write and request.on_complete is not None:
             self.engine.schedule(result, request.on_complete)
 

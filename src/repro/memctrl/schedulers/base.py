@@ -92,6 +92,14 @@ class Scheduler(abc.ABC):
     def on_quantum(self, snapshot: ProfileSnapshot) -> None:
         """A profiling quantum ended (only if ``quantum_cycles`` is set)."""
 
+    def telemetry_state(self) -> Dict[str, object]:
+        """JSON-friendly snapshot of adaptive state, for the telemetry layer.
+
+        Stateless schedulers have nothing to report; adaptive ones (TCM)
+        override with their current clustering/ranking.
+        """
+        return {}
+
     # ------------------------------------------------------------------
     def pending_reads(self):
         """All queued (unserved) reads across channels, for batch policies."""

@@ -159,3 +159,11 @@ class TCMScheduler(Scheduler):
     def bandwidth_cluster(self) -> List[int]:
         """Thread ids currently in the bandwidth-sensitive cluster."""
         return list(self._bw_threads)
+
+    def telemetry_state(self) -> Dict[str, object]:
+        return {
+            "latency_cluster": self.latency_cluster(),
+            "bandwidth_cluster": self.bandwidth_cluster(),
+            "bw_rank": {str(t): r for t, r in sorted(self._bw_rank.items())},
+            "quanta": self.stat_quanta,
+        }

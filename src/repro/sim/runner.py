@@ -21,6 +21,7 @@ from ..core.integration import Approach, get_approach
 from ..cpu.trace import Trace
 from ..errors import ExperimentError
 from ..metrics import MetricSummary, slowdowns, summarize
+from ..telemetry import TelemetryConfig, TelemetryRecorder
 from ..workloads import Mix, generate_trace, get_profile
 from .system import System, SystemResult
 
@@ -59,6 +60,9 @@ class RunResult:
     system: SystemResult
     alone_ipcs: Dict[int, float] = field(default_factory=dict)
     shared_ipcs: Dict[int, float] = field(default_factory=dict)
+    #: Telemetry run digest (:meth:`TelemetryRecorder.summary`) when the
+    #: Runner recorded the run; None otherwise. Persisted with the result.
+    telemetry: Optional[Dict[str, object]] = None
 
 
 class Runner:
@@ -74,6 +78,7 @@ class Runner:
         ahead_limit: int = 8192,
         store: Optional["ResultStore"] = None,
         jobs: int = 1,
+        telemetry: Optional[TelemetryConfig] = None,
     ) -> None:
         self.config = config if config is not None else SystemConfig()
         if horizon <= 0:
@@ -90,6 +95,13 @@ class Runner:
         self.store = store
         #: Worker processes campaign-backed sweeps may fan out over.
         self.jobs = jobs
+        #: When set, every mix run records per-epoch telemetry; the full
+        #: recorder of the most recent *simulated* (non-cached) run is kept
+        #: on :attr:`last_telemetry` and its summary travels on the
+        #: RunResult. Telemetry never changes simulation results, so store
+        #: keys are unaffected.
+        self.telemetry = telemetry
+        self.last_telemetry: Optional[TelemetryRecorder] = None
         self._trace_cache: Dict[tuple, Trace] = {}
         self._alone_cache: Dict[tuple, float] = {}
         self._run_cache: Dict[tuple, RunResult] = {}
@@ -204,11 +216,15 @@ class Runner:
             if hit is not None:
                 result, _wall = hit
                 self._run_cache[cache_key] = result
+                # A cached run was not simulated here: any recorder on
+                # last_telemetry belongs to an earlier run, not this one.
+                self.last_telemetry = None
                 return result
         started = time.perf_counter()
         spec = get_approach(approach)
         config = self._configure(spec, len(apps))
         traces = [self.trace_for(app) for app in apps]
+        recorder = self._make_recorder()
         system = System(
             config,
             traces,
@@ -216,8 +232,10 @@ class Runner:
             policy=spec.make_policy(),
             validate=self.validate,
             ahead_limit=self.ahead_limit,
+            telemetry=recorder,
         )
         result = system.run()
+        self.last_telemetry = recorder
         shared = {t: result.threads[t].ipc for t in range(len(apps))}
         for thread_id, ipc in shared.items():
             if ipc <= 0:
@@ -238,21 +256,25 @@ class Runner:
             system=result,
             alone_ipcs=alone,
             shared_ipcs=shared,
+            telemetry=recorder.summary() if recorder is not None else None,
         )
         self._run_cache[cache_key] = run_result
         if self.store is not None and store_key is not None:
+            describe = {
+                "mix": metrics.mix,
+                "apps": list(apps),
+                "approach": approach,
+                "seed": self.seed,
+                "horizon": self.horizon,
+                "target_insts": self.target_insts,
+            }
+            if run_result.telemetry is not None:
+                describe["telemetry"] = run_result.telemetry
             self.store.put(
                 store_key,
                 run_result,
                 time.perf_counter() - started,
-                describe={
-                    "mix": metrics.mix,
-                    "apps": list(apps),
-                    "approach": approach,
-                    "seed": self.seed,
-                    "horizon": self.horizon,
-                    "target_insts": self.target_insts,
-                },
+                describe=describe,
             )
         return run_result
 
@@ -277,6 +299,7 @@ class Runner:
         config = replace(self.config, num_cores=len(apps))
         config = config.with_scheduler(scheduler, **scheduler_params)
         traces = [self.trace_for(app) for app in apps]
+        recorder = self._make_recorder()
         system = System(
             config,
             traces,
@@ -284,8 +307,10 @@ class Runner:
             policy=policy,
             validate=self.validate,
             ahead_limit=self.ahead_limit,
+            telemetry=recorder,
         )
         result = system.run()
+        self.last_telemetry = recorder
         shared = {t: result.threads[t].ipc for t in range(len(apps))}
         for thread_id, ipc in shared.items():
             if ipc <= 0:
@@ -306,7 +331,15 @@ class Runner:
             system=result,
             alone_ipcs=alone,
             shared_ipcs=shared,
+            telemetry=recorder.summary() if recorder is not None else None,
         )
+
+    # ------------------------------------------------------------------
+    def _make_recorder(self) -> Optional[TelemetryRecorder]:
+        """A fresh recorder when telemetry is enabled, else None."""
+        if self.telemetry is None:
+            return None
+        return TelemetryRecorder(self.telemetry)
 
     # ------------------------------------------------------------------
     def _configure(self, spec: Approach, num_cores: int) -> SystemConfig:

@@ -11,7 +11,7 @@ builds many.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from ..baselines.base import PartitionContext, PartitionPolicy
 from ..baselines.shared import SharedPolicy
@@ -30,6 +30,9 @@ from ..memctrl.request import Request
 from ..memctrl.schedulers import make_scheduler
 from ..osmm import ColorAwareAllocator, MigrationEngine, MigrationPlan, PageTable
 from .engine import Engine
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from ..telemetry import TelemetryRecorder
 
 #: Cycles between successive migration copy pairs, so a page move does not
 #: slam the queues in a single cycle.
@@ -79,6 +82,7 @@ class System:
         policy: Optional[PartitionPolicy] = None,
         validate: bool = False,
         ahead_limit: int = 8192,
+        telemetry: Optional["TelemetryRecorder"] = None,
     ) -> None:
         if len(traces) != config.num_cores:
             raise SimulationError(
@@ -172,34 +176,49 @@ class System:
             migration=self.migration,
             inject_copy_traffic=self._inject_copy_traffic,
         )
-        self._epoch = self._compute_epoch()
+        # The scheduler's quantum and the policy's epoch run on independent
+        # cadences; each consumer fires only at multiples of its own period.
+        self._next_quantum = self.scheduler.quantum_cycles
+        self._next_policy = self.policy.epoch_cycles
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.attach(self.controllers, self.policy, self.scheduler)
         self._ran = False
 
     # ------------------------------------------------------------------
-    # Epoch plumbing: one shared period feeds the profiler's consumers.
+    # Epoch plumbing. The profiler is snapshot once per boundary *cycle*
+    # (both consumers read the same cheap counters, as in hardware), but
+    # the scheduler's quantum and the policy's repartitioning epoch are
+    # scheduled independently: a 25k TCM quantum must not drag a 50k DBP
+    # epoch down to 25k, or claim C2's cadence sensitivity is distorted.
     # ------------------------------------------------------------------
-    def _compute_epoch(self) -> Optional[int]:
-        candidates = [
-            period
-            for period in (
-                self.scheduler.quantum_cycles,
-                self.policy.epoch_cycles,
-            )
-            if period is not None
+    def _next_boundary(self) -> Optional[int]:
+        dues = [
+            due
+            for due in (self._next_quantum, self._next_policy)
+            if due is not None
         ]
-        return min(candidates) if candidates else None
+        return min(dues) if dues else None
 
     def _on_epoch(self, now: int) -> None:
         snapshot = self.profiler.snapshot(now)
-        if self.scheduler.quantum_cycles is not None:
+        fired_quantum = self._next_quantum == now
+        fired_policy = self._next_policy == now
+        if fired_quantum:
             self.scheduler.on_quantum(snapshot)
-        if self.policy.epoch_cycles is not None:
+            self._next_quantum = now + self.scheduler.quantum_cycles
+        if fired_policy:
             self.policy.on_epoch(snapshot, self.context)
-        for table in self.page_tables.values():
-            table.reset_access_counts()
-        next_epoch = now + self._epoch
-        if next_epoch < self.horizon:
-            self.engine.schedule(next_epoch, self._on_epoch)
+            # Page-access hotness ranks migration candidates, so its
+            # window is the policy's epoch, not the profiling boundary.
+            for table in self.page_tables.values():
+                table.reset_access_counts()
+            self._next_policy = now + self.policy.epoch_cycles
+        if self.telemetry is not None:
+            self.telemetry.on_epoch(now, snapshot, fired_quantum, fired_policy)
+        next_due = self._next_boundary()
+        if next_due is not None and next_due < self.horizon:
+            self.engine.schedule(next_due, self._on_epoch)
 
     # ------------------------------------------------------------------
     # MemoryPort implementation (what cores call).
@@ -345,8 +364,9 @@ class System:
         self.policy.initialize(self.context)
         for core in self.cores:
             core.start()
-        if self._epoch is not None and self._epoch < self.horizon:
-            self.engine.schedule(self._epoch, self._on_epoch)
+        first = self._next_boundary()
+        if first is not None and first < self.horizon:
+            self.engine.schedule(first, self._on_epoch)
         self.engine.run()
         if self.validate:
             self._validate_command_streams()

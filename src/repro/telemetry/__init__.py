@@ -1,0 +1,17 @@
+"""Opt-in per-epoch instrumentation (profiles, decisions, queue state).
+
+See :mod:`repro.telemetry.recorder` for the cost model: a system built
+without a recorder pays one ``is None`` check per epoch boundary and
+nothing per request.
+"""
+
+from .recorder import ControllerProbe, TelemetryConfig, TelemetryRecorder
+from .report import render_decisions, render_timeline
+
+__all__ = [
+    "ControllerProbe",
+    "TelemetryConfig",
+    "TelemetryRecorder",
+    "render_decisions",
+    "render_timeline",
+]

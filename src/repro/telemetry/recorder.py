@@ -1,0 +1,263 @@
+"""Per-epoch instrumentation of one simulation run.
+
+The recorder captures, at every profiling boundary the system crosses:
+
+* each thread's measured profile (MPKI / RBH / BLP / bandwidth share),
+* the partitioning policy's decisions when it fired this boundary —
+  demand estimates, bank-color allocation, repartition and migration
+  counters,
+* the adaptive scheduler's quantum state when it fired (e.g. TCM's
+  latency/bandwidth clusters, via :meth:`Scheduler.telemetry_state`),
+* per-controller queue depths plus a log2 read-latency histogram of the
+  epoch's served requests.
+
+Cost model: telemetry is strictly opt-in. A :class:`System` built without a
+recorder registers no extra controller listeners and executes exactly one
+``is None`` check per epoch boundary — the hot command-issue path is
+untouched. With a recorder attached, per-request work is a few counter
+increments in :class:`ControllerProbe`; everything expensive (snapshotting
+dicts, JSON) happens once per epoch.
+
+Records live in a bounded ring (:class:`collections.deque` with
+``maxlen``): a long run keeps the newest ``capacity`` epochs and counts the
+evicted ones in ``dropped_epochs``, so memory is O(capacity) regardless of
+horizon.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Knobs of the epoch recorder."""
+
+    #: Maximum epochs kept in the ring buffer (oldest evicted first).
+    capacity: int = 4096
+    #: Log2 buckets of the per-controller read-latency histogram; bucket i
+    #: holds latencies of bit length i — [2^(i-1), 2^i) CPU cycles — and
+    #: the last bucket is open-ended.
+    latency_buckets: int = 14
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ConfigError("telemetry capacity must be >= 1")
+        if self.latency_buckets < 2:
+            raise ConfigError("latency_buckets must be >= 2")
+
+
+class ControllerProbe:
+    """Listener on one channel controller, reset at each epoch boundary."""
+
+    __slots__ = (
+        "controller",
+        "buckets",
+        "arrivals",
+        "reads",
+        "writes",
+        "row_hits",
+        "migration_casses",
+        "latency_sum",
+        "latency_hist",
+    )
+
+    def __init__(self, controller, buckets: int) -> None:
+        self.controller = controller
+        self.buckets = buckets
+        self._reset()
+
+    def _reset(self) -> None:
+        self.arrivals = 0
+        self.reads = 0
+        self.writes = 0
+        self.row_hits = 0
+        self.migration_casses = 0
+        self.latency_sum = 0
+        self.latency_hist = [0] * self.buckets
+
+    # -- controller listener interface ---------------------------------
+    def on_arrival(self, request, now: int) -> None:
+        self.arrivals += 1
+
+    def on_cas(self, request, now: int, row_hit: bool, data_end=None) -> None:
+        if request.is_migration:
+            self.migration_casses += 1
+            return
+        if request.is_write:
+            self.writes += 1
+        else:
+            self.reads += 1
+            if data_end is not None:
+                latency = max(0, data_end - request.arrival)
+                self.latency_sum += latency
+                bucket = min(latency.bit_length(), self.buckets - 1)
+                self.latency_hist[bucket] += 1
+        if row_hit:
+            self.row_hits += 1
+
+    # -- epoch boundary ------------------------------------------------
+    def snapshot_and_reset(self) -> Dict[str, object]:
+        doc = {
+            "channel": self.controller.channel.channel_id,
+            "read_queue_depth": len(self.controller.read_queue),
+            "write_queue_depth": len(self.controller.write_queue),
+            "arrivals": self.arrivals,
+            "reads": self.reads,
+            "writes": self.writes,
+            "row_hits": self.row_hits,
+            "migration_casses": self.migration_casses,
+            "mean_read_latency": (
+                self.latency_sum / self.reads if self.reads else 0.0
+            ),
+            "latency_hist": list(self.latency_hist),
+        }
+        self._reset()
+        return doc
+
+
+class TelemetryRecorder:
+    """Ring-buffer recorder of per-epoch system state.
+
+    Built by whoever wants visibility (Runner, the ``trace`` CLI, a test),
+    handed to :class:`~repro.sim.system.System`, read afterwards.
+    """
+
+    def __init__(self, config: Optional[TelemetryConfig] = None) -> None:
+        self.config = config if config is not None else TelemetryConfig()
+        self.records: deque = deque(maxlen=self.config.capacity)
+        self.probes: List[ControllerProbe] = []
+        self.epochs = 0
+        self.quanta = 0
+        self.policy_epochs = 0
+        self.dropped_epochs = 0
+        self._policy = None
+        self._scheduler = None
+        self._last_pages_migrated = 0
+
+    # ------------------------------------------------------------------
+    # Wiring (called once by the System builder).
+    # ------------------------------------------------------------------
+    def attach(self, controllers, policy, scheduler) -> None:
+        """Register probes on every controller and remember the deciders."""
+        self._policy = policy
+        self._scheduler = scheduler
+        for controller in controllers:
+            probe = ControllerProbe(controller, self.config.latency_buckets)
+            controller.add_listener(probe)
+            self.probes.append(probe)
+
+    # ------------------------------------------------------------------
+    # Epoch boundary (called by System._on_epoch when a recorder exists).
+    # ------------------------------------------------------------------
+    def on_epoch(
+        self, now: int, snapshot, fired_quantum: bool, fired_policy: bool
+    ) -> None:
+        if len(self.records) == self.records.maxlen:
+            self.dropped_epochs += 1
+        self.epochs += 1
+        if fired_quantum:
+            self.quanta += 1
+        if fired_policy:
+            self.policy_epochs += 1
+        record: Dict[str, object] = {
+            "cycle": now,
+            "fired_quantum": fired_quantum,
+            "fired_policy": fired_policy,
+            "threads": {
+                str(t): {
+                    "mpki": p.mpki,
+                    "rbh": p.rbh,
+                    "blp": p.blp,
+                    "bandwidth": p.bandwidth,
+                    "requests": p.requests,
+                }
+                for t, p in sorted(snapshot.threads.items())
+            },
+            "controllers": [p.snapshot_and_reset() for p in self.probes],
+        }
+        if fired_policy:
+            record["policy"] = self._policy_decisions()
+        if fired_quantum:
+            record["scheduler"] = self._scheduler_state()
+        self.records.append(record)
+
+    def _policy_decisions(self) -> Dict[str, object]:
+        """Duck-typed capture of whatever the policy exposes.
+
+        Every field is optional so static or third-party policies record
+        gracefully; DBP (and DBP+MCP via delegation) exposes all of them.
+        """
+        policy = self._policy
+        doc: Dict[str, object] = {"name": getattr(policy, "name", "?")}
+        repartitions = getattr(policy, "stat_repartitions", None)
+        if repartitions is not None:
+            doc["repartitions"] = repartitions
+        pages = getattr(policy, "stat_pages_migrated", None)
+        if pages is not None:
+            doc["pages_migrated"] = pages
+            doc["pages_migrated_epoch"] = pages - self._last_pages_migrated
+            self._last_pages_migrated = pages
+        allocation = getattr(policy, "last_allocation", None)
+        if allocation:
+            doc["allocation"] = {
+                str(t): list(colors) for t, colors in sorted(allocation.items())
+            }
+        demands = getattr(policy, "last_demands", None)
+        if demands:
+            doc["demands"] = {str(t): d for t, d in sorted(demands.items())}
+        return doc
+
+    def _scheduler_state(self) -> Dict[str, object]:
+        scheduler = self._scheduler
+        doc: Dict[str, object] = {"name": getattr(scheduler, "name", "?")}
+        state = getattr(scheduler, "telemetry_state", None)
+        if state is not None:
+            doc.update(state())
+        return doc
+
+    # ------------------------------------------------------------------
+    # Export.
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """One deterministic JSON document per recorded epoch."""
+        return "".join(
+            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+            for record in self.records
+        )
+
+    def dump_jsonl(self, path) -> None:
+        """Write :meth:`to_jsonl` to ``path``."""
+        with open(path, "w") as handle:
+            handle.write(self.to_jsonl())
+
+    def summary(self) -> Dict[str, object]:
+        """Compact run-level digest (attached to store entry metadata)."""
+        max_read_q = max_write_q = 0
+        migration_casses = 0
+        for record in self.records:
+            for ctrl in record["controllers"]:
+                max_read_q = max(max_read_q, ctrl["read_queue_depth"])
+                max_write_q = max(max_write_q, ctrl["write_queue_depth"])
+                migration_casses += ctrl["migration_casses"]
+        doc: Dict[str, object] = {
+            "epochs": self.epochs,
+            "quanta": self.quanta,
+            "policy_epochs": self.policy_epochs,
+            "dropped_epochs": self.dropped_epochs,
+            "max_read_queue_depth": max_read_q,
+            "max_write_queue_depth": max_write_q,
+            "migration_casses": migration_casses,
+        }
+        repartitions = getattr(self._policy, "stat_repartitions", None)
+        if repartitions is not None:
+            doc["repartitions"] = repartitions
+        pages = getattr(self._policy, "stat_pages_migrated", None)
+        if pages is not None:
+            doc["pages_migrated"] = pages
+        return doc

@@ -235,7 +235,7 @@ class TestStats:
             def on_arrival(self, request, now):
                 events.append(("arrive", request.req_id))
 
-            def on_cas(self, request, now, row_hit):
+            def on_cas(self, request, now, row_hit, data_end=None):
                 events.append(("cas", request.req_id, row_hit))
 
         controller.add_listener(Listener())

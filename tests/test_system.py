@@ -161,5 +161,5 @@ class TestEpochPlumbing:
         system = System(
             small_config, traces(), horizon=25_000, policy=SharedPolicy()
         )
-        assert system._epoch is None
+        assert system._next_boundary() is None
         system.run()
