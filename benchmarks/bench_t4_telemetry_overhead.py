@@ -7,7 +7,11 @@ contract:
   and an untraced run produce identical :class:`SystemResult`s;
 * disabled telemetry leaves no probes on the controllers (structurally
   zero per-request cost), and enabled telemetry stays within a small
-  constant factor of the untraced run.
+  constant factor of the untraced run;
+* the streaming sink inherits both guarantees: a run that spills every
+  epoch to JSONL is still bit-identical to the untraced run, keeps every
+  epoch on disk past the ring capacity, and stays within the same
+  overhead bound (epoch boundaries are rare, so per-epoch I/O is noise).
 """
 
 from __future__ import annotations
@@ -17,7 +21,7 @@ import time
 from repro.config import SystemConfig
 from repro.core.dbp import DBPConfig, DynamicBankPartitioning
 from repro.sim.system import System
-from repro.telemetry import TelemetryRecorder
+from repro.telemetry import TelemetryConfig, TelemetryRecorder, load_stream
 from repro.workloads import AppProfile, generate_trace
 
 # Not a multiple of either cadence: a boundary landing exactly on the
@@ -50,11 +54,13 @@ def _timed_run(recorder=None):
     return result, time.perf_counter() - started, system
 
 
-def bench_t4_telemetry_overhead(benchmark):
+def bench_t4_telemetry_overhead(benchmark, tmp_path):
+    stream_path = tmp_path / "t4-stream.jsonl"
+
     def body():
-        # Interleave off/on runs and keep the best of two so a scheduler
-        # hiccup on one run cannot fake an overhead regression.
-        walls = {"off": [], "on": []}
+        # Interleave off/on/stream runs and keep the best of two so a
+        # scheduler hiccup on one run cannot fake an overhead regression.
+        walls = {"off": [], "on": [], "stream": []}
         results = {}
         recorders = []
         for _ in range(2):
@@ -67,27 +73,45 @@ def bench_t4_telemetry_overhead(benchmark):
             walls["on"].append(wall)
             results["on"] = result
             recorders.append(recorder)
+            # Ring of 2 + spill-to-disk: the stressed configuration.
+            streamer = TelemetryRecorder(
+                TelemetryConfig(capacity=2, stream_path=str(stream_path))
+            )
+            result, wall, _system_stream = _timed_run(streamer)
+            walls["stream"].append(wall)
+            results["stream"] = result
         return walls, results, recorders
 
     walls, results, recorders = benchmark.pedantic(body, rounds=1, iterations=1)
 
-    # Telemetry must be invisible to the simulation itself.
-    assert results["on"].threads == results["off"].threads
-    assert results["on"].total_commands == results["off"].total_commands
-    assert results["on"].pages_migrated == results["off"].pages_migrated
+    # Telemetry must be invisible to the simulation itself — with the ring
+    # alone and with the streaming sink spilling every epoch to disk.
+    for mode in ("on", "stream"):
+        assert results[mode].threads == results["off"].threads
+        assert results[mode].total_commands == results["off"].total_commands
+        assert results[mode].pages_migrated == results["off"].pages_migrated
 
     # ... while actually recording the run.
     summary = recorders[-1].summary()
     assert summary["policy_epochs"] == HORIZON // EPOCH
     assert summary["quanta"] == HORIZON // QUANTUM
 
+    # The stream kept every epoch despite the 2-slot ring.
+    stored = load_stream(str(stream_path))
+    assert stored.epochs == summary["epochs"]
+    assert len(stored.records) == summary["epochs"]
+
     off = min(walls["off"])
     on = min(walls["on"])
+    streamed = min(walls["stream"])
     overhead = (on - off) / off if off else 0.0
+    stream_overhead = (streamed - off) / off if off else 0.0
     print()
     print(
         f"T4 telemetry overhead: off={off * 1e3:.1f} ms "
-        f"on={on * 1e3:.1f} ms (+{overhead * 100.0:.1f}%)"
+        f"on={on * 1e3:.1f} ms (+{overhead * 100.0:.1f}%) "
+        f"stream={streamed * 1e3:.1f} ms (+{stream_overhead * 100.0:.1f}%)"
     )
     # Generous CI-noise bound; typical overhead is a few percent.
     assert overhead < 0.5
+    assert stream_overhead < 0.5

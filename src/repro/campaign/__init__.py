@@ -29,7 +29,7 @@ from .executor import (
     execute_one,
 )
 from .api import run_campaign, sweep_metrics
-from .progress import ProgressPrinter, render_report
+from .progress import ProgressPrinter, aggregate_telemetry, render_report
 from .spec import DEFAULT_APPROACHES, CampaignSpec, RunSpec, plan_sweep
 from .store import (
     STORE_VERSION,
@@ -53,6 +53,7 @@ __all__ = [
     "run_campaign",
     "sweep_metrics",
     "ProgressPrinter",
+    "aggregate_telemetry",
     "render_report",
     "ResultStore",
     "StoreStats",

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import sys
 import time
-from typing import IO, List, Optional
+from typing import IO, Dict, Iterable, List, Optional
 
 from .executor import CampaignResult, RunOutcome
 from .store import ResultStore
@@ -70,6 +70,57 @@ class ProgressPrinter:
         return remaining * mean / self.jobs
 
 
+def aggregate_telemetry(
+    outcomes: Iterable[RunOutcome],
+) -> Optional[Dict[str, object]]:
+    """Merge per-run telemetry summaries across a campaign.
+
+    Each worker's :class:`RunResult` carries the
+    :meth:`TelemetryRecorder.summary` digest of its own run (cached runs
+    carry the digest persisted with the store entry). Counter-like fields
+    sum, queue depths take the max. Returns None when no outcome carried
+    telemetry at all — the campaign ran without recording.
+    """
+    summed = (
+        "epochs",
+        "quanta",
+        "policy_epochs",
+        "dropped_epochs",
+        "migration_casses",
+        "repartitions",
+        "pages_migrated",
+        "streamed_epochs",
+    )
+    maxed = ("max_read_queue_depth", "max_write_queue_depth")
+    outcomes = list(outcomes)
+    merged: Dict[str, object] = {key: 0 for key in summed + maxed}
+    merged["runs"] = 0
+    seen = False
+    for outcome in outcomes:
+        summary = outcome.result.telemetry if outcome.result else None
+        if not summary:
+            continue
+        seen = True
+        merged["runs"] += 1
+        for key in summed:
+            if key in summary:
+                merged[key] += summary[key]
+        for key in maxed:
+            merged[key] = max(merged[key], summary.get(key, 0))
+    if not seen:
+        return None
+    # Fields no run reported (e.g. repartitions under static policies)
+    # would read as a misleading 0 — drop them instead.
+    for key in summed:
+        if merged[key] == 0 and not any(
+            key in (o.result.telemetry or {})
+            for o in outcomes
+            if o.result is not None
+        ):
+            del merged[key]
+    return merged
+
+
 def render_report(
     result: CampaignResult, store: Optional[ResultStore] = None
 ) -> str:
@@ -106,6 +157,16 @@ def render_report(
         f"{len(result.failed)} failed"
     )
     parts.append(f"campaign wall-clock: {result.wall_clock:.1f}s")
+    telemetry = aggregate_telemetry(result.outcomes)
+    if telemetry is not None:
+        fields = ", ".join(
+            f"{key}={telemetry[key]}"
+            for key in sorted(telemetry)
+            if key != "runs"
+        )
+        parts.append(
+            f"telemetry: {telemetry['runs']} recorded run(s); {fields}"
+        )
     if store is not None:
         stats = store.stats
         parts.append(

@@ -171,6 +171,7 @@ def encode_run_result(result: RunResult) -> Dict[str, object]:
         "alone_ipcs": {str(t): v for t, v in result.alone_ipcs.items()},
         "shared_ipcs": {str(t): v for t, v in result.shared_ipcs.items()},
         "telemetry": result.telemetry,
+        "metrics_snapshot": result.metrics_snapshot,
     }
 
 
@@ -213,6 +214,7 @@ def decode_run_result(doc: Dict[str, object]) -> RunResult:
         alone_ipcs={int(t): float(v) for t, v in doc["alone_ipcs"].items()},
         shared_ipcs={int(t): float(v) for t, v in doc["shared_ipcs"].items()},
         telemetry=doc.get("telemetry"),
+        metrics_snapshot=doc.get("metrics_snapshot"),
     )
 
 

@@ -9,7 +9,10 @@ Subcommands:
   the persistent result store (re-runs are served from disk).
 * ``mix``      — run a single mix under one or more approaches.
 * ``trace``    — run one mix with per-epoch telemetry and print the epoch
-  timeline and the policy's decisions table (optionally export JSONL).
+  timeline and the policy's decisions table (optionally export or stream
+  JSONL); ``--from-jsonl`` renders a stored stream without re-simulating.
+* ``metrics``  — run one mix and print the simulator-wide metrics registry
+  snapshot in Prometheus text (or JSON) form.
 * ``config``   — print the simulated system configuration.
 """
 
@@ -154,7 +157,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "trace",
         help="run one mix with telemetry; print epoch timeline + decisions",
     )
-    trace_parser.add_argument("mix", help="mix name, e.g. M4")
+    trace_parser.add_argument(
+        "mix",
+        nargs="?",
+        default=None,
+        help="mix name, e.g. M4 (omit with --from-jsonl)",
+    )
     trace_parser.add_argument(
         "--approach",
         default="dbp-tcm",
@@ -174,10 +182,50 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also export every recorded epoch as JSON lines to PATH",
     )
     trace_parser.add_argument(
+        "--stream",
+        default=None,
+        metavar="PATH",
+        help=(
+            "stream every epoch to a rotating JSONL file during the run "
+            "(history beyond --capacity survives on disk)"
+        ),
+    )
+    trace_parser.add_argument(
+        "--from-jsonl",
+        default=None,
+        metavar="PATH",
+        help=(
+            "render the timeline and decisions from a stored telemetry "
+            "stream instead of simulating"
+        ),
+    )
+    trace_parser.add_argument(
         "--capacity",
         type=int,
         default=4096,
         help="telemetry ring-buffer capacity in epochs (default 4096)",
+    )
+    trace_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="also print wall-clock profile (cycles/sec, per-component)",
+    )
+
+    metrics_parser = sub.add_parser(
+        "metrics",
+        help="run one mix and print the metrics-registry snapshot",
+    )
+    metrics_parser.add_argument("mix", help="mix name, e.g. M4")
+    metrics_parser.add_argument(
+        "--approach",
+        default="dbp-tcm",
+        help="approach to run (default: dbp-tcm)",
+    )
+    metrics_parser.add_argument(
+        "--format",
+        choices=["prom", "json"],
+        default="prom",
+        help="Prometheus text (default) or the raw snapshot as JSON",
     )
 
     mix_parser = sub.add_parser("mix", help="run one mix under approaches")
@@ -187,6 +235,11 @@ def _build_parser() -> argparse.ArgumentParser:
         nargs="*",
         default=["shared-frfcfs", "ebp", "dbp"],
         help="approach names (default: shared-frfcfs ebp dbp)",
+    )
+    mix_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a wall-clock profile after each approach",
     )
 
     traces_parser = sub.add_parser(
@@ -252,6 +305,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         CampaignSpec,
         ProgressPrinter,
         ResultStore,
+        aggregate_telemetry,
         default_store_dir,
         render_report,
         run_campaign,
@@ -316,12 +370,28 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 "cache_hit_rate": result.cache_hit_rate,
                 "wall_clock": result.wall_clock,
                 "store": store.stats.as_dict() if store else None,
+                "telemetry": aggregate_telemetry(result.outcomes),
             },
         }
         print(json.dumps(doc, indent=2))
     else:
         print(render_report(result, store))
     return 1 if result.failed else 0
+
+
+def _print_profile(report: dict) -> None:
+    """Render one :meth:`System.profile_report` dict for the terminal."""
+    print(
+        f"profile: {report['cycles']} cycles in "
+        f"{report['wall_seconds']:.2f}s "
+        f"({report['cycles_per_second']:,.0f} cycles/sec, "
+        f"{report['events']} events)"
+    )
+    for row in report["components"]:
+        print(
+            f"  {row['component']:<20} {row['seconds']:>8.3f}s "
+            f"{100.0 * row['share']:>5.1f}%  {row['events']:>9} events"
+        )
 
 
 def _cmd_mix(args: argparse.Namespace, runner: Runner) -> int:
@@ -340,17 +410,52 @@ def _cmd_mix(args: argparse.Namespace, runner: Runner) -> int:
             f"{metrics.harmonic_speedup:>7.3f} "
             f"{metrics.max_slowdown:>7.3f}  {downs}"
         )
+        if runner.profile and runner.last_profile is not None:
+            _print_profile(runner.last_profile)
     return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from .telemetry import TelemetryConfig, render_decisions, render_timeline
+    from .errors import ConfigError
+    from .telemetry import (
+        TelemetryConfig,
+        load_stream,
+        render_decisions,
+        render_timeline,
+    )
 
+    if args.from_jsonl is not None:
+        if args.mix is not None:
+            raise ConfigError(
+                "trace --from-jsonl renders a stored stream; "
+                "do not also name a mix"
+            )
+        stored = load_stream(args.from_jsonl)
+        print(
+            f"telemetry stream {stored.source} "
+            f"({stored.segments} segment(s), schema capacity "
+            f"{stored.config.capacity})"
+        )
+        print(
+            f"epochs={stored.epochs} quanta={stored.quanta} "
+            f"policy_epochs={stored.policy_epochs} "
+            f"dropped_epochs={stored.dropped_epochs}"
+        )
+        print("\nEpoch timeline (Q = scheduler quantum, P = policy epoch):")
+        print(render_timeline(stored, last=args.last))
+        print("\nPolicy decisions:")
+        print(render_decisions(stored))
+        return 0
+    if args.mix is None:
+        raise ConfigError("trace needs a mix name (or --from-jsonl PATH)")
     mix = get_mix(args.mix)
     runner = Runner(
         horizon=args.horizon,
         seed=args.seed,
-        telemetry=TelemetryConfig(capacity=args.capacity),
+        telemetry=TelemetryConfig(
+            capacity=args.capacity, stream_path=args.stream
+        ),
+        profile=args.profile,
     )
     result = runner.run_mix(mix, args.approach)
     recorder = runner.last_telemetry
@@ -375,6 +480,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         f"repartitions={summary.get('repartitions', '-')} "
         f"pages_migrated={summary.get('pages_migrated', '-')}"
     )
+    if args.profile and runner.last_profile is not None:
+        _print_profile(runner.last_profile)
     print("\nEpoch timeline (Q = scheduler quantum, P = policy epoch):")
     print(render_timeline(recorder, last=args.last))
     print("\nPolicy decisions:")
@@ -382,6 +489,25 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.jsonl:
         recorder.dump_jsonl(args.jsonl)
         print(f"\nwrote {len(recorder.records)} epoch records to {args.jsonl}")
+    if args.stream and recorder.stream is not None:
+        print(
+            f"\nstreamed {recorder.stream.records_written} epoch records "
+            f"to {args.stream}"
+        )
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from .metrics.registry import prometheus_text
+
+    mix = get_mix(args.mix)
+    runner = Runner(horizon=args.horizon, seed=args.seed)
+    result = runner.run_mix(mix, args.approach)
+    snapshot = result.metrics_snapshot or {"metrics": []}
+    if args.format == "json":
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        print(prometheus_text(snapshot), end="")
     return 0
 
 
@@ -419,6 +545,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_campaign(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "metrics":
+            return _cmd_metrics(args)
         store = None
         if getattr(args, "store", None) is not None:
             from .campaign import ResultStore, default_store_dir
@@ -431,6 +559,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             seed=args.seed,
             store=store,
             jobs=getattr(args, "jobs", 1),
+            profile=getattr(args, "profile", False),
         )
         if args.command == "config":
             print(runner.config.describe())

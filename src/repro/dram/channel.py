@@ -213,3 +213,28 @@ class Channel:
             if bank.open_row is not None:
                 out.append((bank.bank_id, bank.open_row))
         return out
+
+    # ------------------------------------------------------------------
+    # Observability (pull model: reads the stat counters, post-run).
+    # ------------------------------------------------------------------
+    def collect_metrics(self, registry) -> None:
+        """Export device-level state into a metrics registry."""
+        channel = str(self.channel_id)
+        registry.counter(
+            "repro_dram_commands_total", "DRAM commands issued on the bus"
+        ).inc(self.stat_commands, channel=channel)
+        refreshes = registry.counter(
+            "repro_dram_refreshes_total", "REFRESH commands per rank"
+        )
+        open_rows = registry.gauge(
+            "repro_dram_open_rows", "Banks left with an open row at collect"
+        )
+        for rank in self.ranks:
+            refreshes.inc(
+                rank.stat_refreshes, channel=channel, rank=str(rank.rank_id)
+            )
+            open_rows.set(
+                len(self.open_banks(rank.rank_id)),
+                channel=channel,
+                rank=str(rank.rank_id),
+            )

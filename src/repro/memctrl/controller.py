@@ -117,6 +117,64 @@ class ChannelController:
             self._request_decision(first_due)
 
     # ------------------------------------------------------------------
+    # Observability (pull model: reads the stat counters, post-run).
+    # ------------------------------------------------------------------
+    def collect_metrics(self, registry) -> None:
+        """Export this controller's service statistics into a registry."""
+        channel = str(self.channel.channel_id)
+        stats = self.stats
+        served = registry.counter(
+            "repro_ctrl_requests_served_total",
+            "Demand CAS commands served, by operation",
+        )
+        served.inc(stats.reads_served, channel=channel, op="read")
+        served.inc(stats.writes_served, channel=channel, op="write")
+        rows = registry.counter(
+            "repro_ctrl_row_outcomes_total",
+            "Row-buffer outcome of each demand CAS",
+        )
+        rows.inc(stats.row_hits, channel=channel, outcome="hit")
+        rows.inc(stats.row_misses, channel=channel, outcome="miss")
+        migration = registry.counter(
+            "repro_ctrl_migration_cas_total",
+            "Page-copy CAS commands (excluded from demand counters)",
+        )
+        migration.inc(stats.migration_reads, channel=channel, op="read")
+        migration.inc(stats.migration_writes, channel=channel, op="write")
+        registry.counter(
+            "repro_ctrl_data_bus_busy_cycles_total",
+            "CPU cycles the data bus spent transferring bursts",
+        ).inc(stats.data_bus_busy, channel=channel)
+        depth = registry.gauge(
+            "repro_ctrl_queue_depth", "Requests queued at collect time"
+        )
+        depth.set(len(self.read_queue), channel=channel, queue="read")
+        depth.set(len(self.write_queue), channel=channel, queue="write")
+        per_thread = registry.counter(
+            "repro_ctrl_thread_requests_total",
+            "Demand requests served per thread",
+        )
+        latency = registry.histogram(
+            "repro_ctrl_thread_mean_read_latency_cycles",
+            "Per-thread mean read latency (one observation per thread)",
+        )
+        threads = set(stats.per_thread_reads) | set(stats.per_thread_writes)
+        for thread_id in sorted(threads):
+            reads = stats.per_thread_reads.get(thread_id, 0)
+            writes = stats.per_thread_writes.get(thread_id, 0)
+            per_thread.inc(
+                reads, channel=channel, thread=str(thread_id), op="read"
+            )
+            per_thread.inc(
+                writes, channel=channel, thread=str(thread_id), op="write"
+            )
+            if reads:
+                latency.observe(
+                    stats.per_thread_latency_sum.get(thread_id, 0) / reads,
+                    channel=channel,
+                )
+
+    # ------------------------------------------------------------------
     # External surface.
     # ------------------------------------------------------------------
     def add_listener(self, listener: object) -> None:

@@ -35,6 +35,7 @@ class ATLASScheduler(Scheduler):
         self._attained: Dict[int, float] = {t: 0.0 for t in range(num_threads)}
         self._quantum_service: Dict[int, float] = dict(self._attained)
         self._rank: Dict[int, int] = {t: 0 for t in range(num_threads)}
+        self.stat_quanta = 0
 
     # ------------------------------------------------------------------
     def key(self, request: Request, row_hit: bool, now: int) -> Tuple:
@@ -53,6 +54,7 @@ class ATLASScheduler(Scheduler):
         )
 
     def on_quantum(self, snapshot: ProfileSnapshot) -> None:
+        self.stat_quanta += 1
         for thread_id in range(self.num_threads):
             self._attained[thread_id] = (
                 self.alpha * self._attained.get(thread_id, 0.0)
@@ -68,3 +70,30 @@ class ATLASScheduler(Scheduler):
     def attained_service(self, thread_id: int) -> float:
         """Decayed attained service of one thread (for tests/reports)."""
         return self._attained.get(thread_id, 0.0)
+
+    def telemetry_state(self) -> Dict[str, object]:
+        return {
+            "quanta": self.stat_quanta,
+            "attained": {
+                str(tid): round(self._attained[tid], 3)
+                for tid in sorted(self._attained)
+            },
+            "rank": [
+                tid
+                for tid, _ in sorted(
+                    self._rank.items(), key=lambda item: item[1]
+                )
+            ],
+        }
+
+    def collect_metrics(self, registry) -> None:
+        registry.counter(
+            "repro_sched_quanta_total", "Scheduler quantum callbacks fired"
+        ).inc(self.stat_quanta, scheduler=self.name)
+        attained = registry.gauge(
+            "repro_sched_attained_service", "Decayed attained service"
+        )
+        for thread_id in sorted(self._attained):
+            attained.set(
+                round(self._attained[thread_id], 3), thread=str(thread_id)
+            )

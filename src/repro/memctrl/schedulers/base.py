@@ -55,6 +55,10 @@ class Scheduler(abc.ABC):
     name = "base"
     #: Quantum period in CPU cycles, or None for stateless policies.
     quantum_cycles: Optional[int] = None
+    #: Offset of the first quantum boundary within the period (staggers the
+    #: quantum against a policy's epoch). ``0 <= quantum_offset <
+    #: quantum_cycles``; the system builder validates.
+    quantum_offset: int = 0
 
     def __init__(self, num_threads: int) -> None:
         self.num_threads = num_threads
@@ -95,10 +99,16 @@ class Scheduler(abc.ABC):
     def telemetry_state(self) -> Dict[str, object]:
         """JSON-friendly snapshot of adaptive state, for the telemetry layer.
 
-        Stateless schedulers have nothing to report; adaptive ones (TCM)
-        override with their current clustering/ranking.
+        Stateless schedulers have nothing to report; adaptive ones (TCM,
+        PAR-BS, ATLAS) override with their current clustering/ranking.
         """
         return {}
+
+    def collect_metrics(self, registry) -> None:
+        """Export adaptive-state counters into a metrics registry.
+
+        Stateless schedulers export nothing; adaptive ones override.
+        """
 
     # ------------------------------------------------------------------
     def pending_reads(self):

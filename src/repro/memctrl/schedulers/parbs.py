@@ -39,6 +39,26 @@ class PARBSScheduler(Scheduler):
     def on_served(self, request: Request, now: int) -> None:
         self._marked.discard(request.req_id)
 
+    def telemetry_state(self) -> Dict[str, object]:
+        return {
+            "batches": self.stat_batches,
+            "marked": len(self._marked),
+            "rank": [
+                tid
+                for tid, _ in sorted(
+                    self._thread_rank.items(), key=lambda item: item[1]
+                )
+            ],
+        }
+
+    def collect_metrics(self, registry) -> None:
+        registry.counter(
+            "repro_sched_batches_total", "PAR-BS batches formed"
+        ).inc(self.stat_batches, scheduler=self.name)
+        registry.gauge(
+            "repro_sched_marked_requests", "Marked requests still in batch"
+        ).set(len(self._marked), scheduler=self.name)
+
     # ------------------------------------------------------------------
     def _form_batch(self) -> None:
         """Mark the oldest requests per (thread, bank) and rank threads."""

@@ -167,3 +167,13 @@ class TCMScheduler(Scheduler):
             "bw_rank": {str(t): r for t, r in sorted(self._bw_rank.items())},
             "quanta": self.stat_quanta,
         }
+
+    def collect_metrics(self, registry) -> None:
+        registry.counter(
+            "repro_sched_quanta_total", "Scheduler quantum callbacks fired"
+        ).inc(self.stat_quanta, scheduler=self.name)
+        size = registry.gauge(
+            "repro_sched_cluster_size", "Threads per TCM cluster at collect"
+        )
+        size.set(len(self._latency_rank), cluster="latency")
+        size.set(len(self._bw_threads), cluster="bandwidth")

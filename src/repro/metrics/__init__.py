@@ -1,4 +1,5 @@
-"""System-level performance and fairness metrics."""
+"""System-level performance and fairness metrics, plus the simulator-wide
+metrics registry (see :mod:`repro.metrics.registry`)."""
 
 from .metrics import (
     harmonic_speedup,
@@ -8,6 +9,13 @@ from .metrics import (
     MetricSummary,
     weighted_speedup,
 )
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    prometheus_text,
+)
 
 __all__ = [
     "weighted_speedup",
@@ -16,4 +24,9 @@ __all__ = [
     "slowdowns",
     "summarize",
     "MetricSummary",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "prometheus_text",
 ]

@@ -158,3 +158,20 @@ class ColorAwareAllocator:
     def colors_of_threads(self) -> Dict[int, FrozenSet[int]]:
         """Snapshot of every thread's color constraint."""
         return dict(self._thread_colors)
+
+    def collect_metrics(self, registry) -> None:
+        """Export allocation counters and partition state into a registry."""
+        registry.counter(
+            "repro_osmm_frame_allocations_total", "Physical frames handed out"
+        ).inc(self.stat_allocations)
+        registry.counter(
+            "repro_osmm_frame_frees_total", "Physical frames returned"
+        ).inc(self.stat_frees)
+        colors = registry.gauge(
+            "repro_osmm_thread_colors",
+            "Bank colors each thread may allocate from, at collect",
+        )
+        for thread_id in sorted(self._thread_colors):
+            colors.set(
+                len(self._thread_colors[thread_id]), thread=str(thread_id)
+            )

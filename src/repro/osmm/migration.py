@@ -68,6 +68,8 @@ class MigrationEngine:
         self.lines_per_page = lines_per_page
         self.mode = mode
         self.stat_pages_moved = 0
+        self.stat_lines_copied = 0
+        self.stat_migrations = 0
 
     def migrate(
         self,
@@ -125,4 +127,23 @@ class MigrationEngine:
                     dst = self.address_map.line_in_frame(new_frame, line)
                     plan.copy_lines.append((src, dst))
         self.stat_pages_moved += plan.moved_pages
+        self.stat_lines_copied += len(plan.copy_lines)
+        if plan.moved_pages:
+            self.stat_migrations += 1
         return plan
+
+    # ------------------------------------------------------------------
+    def collect_metrics(self, registry) -> None:
+        """Export migration counters into a metrics registry."""
+        registry.counter(
+            "repro_osmm_pages_migrated_total",
+            "Pages relocated by the migration engine",
+        ).inc(self.stat_pages_moved, mode=self.mode)
+        registry.counter(
+            "repro_osmm_copy_lines_total",
+            "Cache lines whose copy traffic was charged to DRAM",
+        ).inc(self.stat_lines_copied, mode=self.mode)
+        registry.counter(
+            "repro_osmm_migration_passes_total",
+            "Migration passes that moved at least one page",
+        ).inc(self.stat_migrations, mode=self.mode)

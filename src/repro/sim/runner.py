@@ -63,6 +63,14 @@ class RunResult:
     #: Telemetry run digest (:meth:`TelemetryRecorder.summary`) when the
     #: Runner recorded the run; None otherwise. Persisted with the result.
     telemetry: Optional[Dict[str, object]] = None
+    #: Deterministic metrics-registry snapshot
+    #: (:meth:`System.metrics_registry` → :meth:`MetricsRegistry.snapshot`)
+    #: collected after every simulated run. Persisted with the result;
+    #: render it with :func:`repro.metrics.prometheus_text`.
+    metrics_snapshot: Optional[Dict[str, object]] = None
+    #: Wall-clock profile (:meth:`System.profile_report`) when the Runner
+    #: was built with ``profile=True``; never persisted (host-specific).
+    profile: Optional[Dict[str, object]] = None
 
 
 class Runner:
@@ -79,6 +87,7 @@ class Runner:
         store: Optional["ResultStore"] = None,
         jobs: int = 1,
         telemetry: Optional[TelemetryConfig] = None,
+        profile: bool = False,
     ) -> None:
         self.config = config if config is not None else SystemConfig()
         if horizon <= 0:
@@ -102,6 +111,11 @@ class Runner:
         #: keys are unaffected.
         self.telemetry = telemetry
         self.last_telemetry: Optional[TelemetryRecorder] = None
+        #: When True, mix runs time the event loop per component; the
+        #: report of the most recent simulated run lands on
+        #: :attr:`last_profile` and on ``RunResult.profile``.
+        self.profile = profile
+        self.last_profile: Optional[Dict[str, object]] = None
         self._trace_cache: Dict[tuple, Trace] = {}
         self._alone_cache: Dict[tuple, float] = {}
         self._run_cache: Dict[tuple, RunResult] = {}
@@ -233,9 +247,13 @@ class Runner:
             validate=self.validate,
             ahead_limit=self.ahead_limit,
             telemetry=recorder,
+            profile=self.profile,
         )
         result = system.run()
         self.last_telemetry = recorder
+        self.last_profile = (
+            system.profile_report() if self.profile else None
+        )
         shared = {t: result.threads[t].ipc for t in range(len(apps))}
         for thread_id, ipc in shared.items():
             if ipc <= 0:
@@ -257,6 +275,8 @@ class Runner:
             alone_ipcs=alone,
             shared_ipcs=shared,
             telemetry=recorder.summary() if recorder is not None else None,
+            metrics_snapshot=system.metrics_registry().snapshot(),
+            profile=self.last_profile,
         )
         self._run_cache[cache_key] = run_result
         if self.store is not None and store_key is not None:
@@ -308,9 +328,13 @@ class Runner:
             validate=self.validate,
             ahead_limit=self.ahead_limit,
             telemetry=recorder,
+            profile=self.profile,
         )
         result = system.run()
         self.last_telemetry = recorder
+        self.last_profile = (
+            system.profile_report() if self.profile else None
+        )
         shared = {t: result.threads[t].ipc for t in range(len(apps))}
         for thread_id, ipc in shared.items():
             if ipc <= 0:
@@ -332,6 +356,8 @@ class Runner:
             alone_ipcs=alone,
             shared_ipcs=shared,
             telemetry=recorder.summary() if recorder is not None else None,
+            metrics_snapshot=system.metrics_registry().snapshot(),
+            profile=self.last_profile,
         )
 
     # ------------------------------------------------------------------

@@ -10,6 +10,7 @@ builds many.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
@@ -23,13 +24,13 @@ from ..cpu.prefetcher import StridePrefetcher
 from ..cpu.trace import Trace
 from ..dram.channel import Channel
 from ..dram.validator import ProtocolValidator
-from ..errors import SimulationError
+from ..errors import ConfigError, SimulationError
 from ..mapping import AddressMap
 from ..memctrl.controller import ChannelController
 from ..memctrl.request import Request
 from ..memctrl.schedulers import make_scheduler
 from ..osmm import ColorAwareAllocator, MigrationEngine, MigrationPlan, PageTable
-from .engine import Engine
+from .engine import Engine, SimProfiler
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from ..telemetry import TelemetryRecorder
@@ -83,6 +84,9 @@ class System:
         validate: bool = False,
         ahead_limit: int = 8192,
         telemetry: Optional["TelemetryRecorder"] = None,
+        profile: bool = False,
+        policy_epoch_offset: Optional[int] = None,
+        quantum_offset: Optional[int] = None,
     ) -> None:
         if len(traces) != config.num_cores:
             raise SimulationError(
@@ -93,7 +97,11 @@ class System:
         self.horizon = horizon
         self.policy = policy if policy is not None else SharedPolicy()
         self.validate = validate
-        self.engine = Engine(horizon)
+        # Wall-clock profiler (distinct from self.profiler, the in-sim
+        # ThreadProfiler measuring MPKI/RBH/BLP).
+        self.sim_profiler = SimProfiler() if profile else None
+        self._wall_seconds: Optional[float] = None
+        self.engine = Engine(horizon, profiler=self.sim_profiler)
         timings = config.timings
         self.address_map = AddressMap(
             config.organization,
@@ -177,9 +185,24 @@ class System:
             inject_copy_traffic=self._inject_copy_traffic,
         )
         # The scheduler's quantum and the policy's epoch run on independent
-        # cadences; each consumer fires only at multiples of its own period.
-        self._next_quantum = self.scheduler.quantum_cycles
-        self._next_policy = self.policy.epoch_cycles
+        # cadences; each consumer fires only at multiples of its own period,
+        # optionally staggered by an offset within that period.
+        q_offset = (
+            quantum_offset
+            if quantum_offset is not None
+            else self.scheduler.quantum_offset
+        )
+        p_offset = (
+            policy_epoch_offset
+            if policy_epoch_offset is not None
+            else self.policy.epoch_offset
+        )
+        self._next_quantum = self._first_boundary(
+            "quantum", self.scheduler.quantum_cycles, q_offset
+        )
+        self._next_policy = self._first_boundary(
+            "policy epoch", self.policy.epoch_cycles, p_offset
+        )
         self.telemetry = telemetry
         if telemetry is not None:
             telemetry.attach(self.controllers, self.policy, self.scheduler)
@@ -192,6 +215,28 @@ class System:
     # scheduled independently: a 25k TCM quantum must not drag a 50k DBP
     # epoch down to 25k, or claim C2's cadence sensitivity is distorted.
     # ------------------------------------------------------------------
+    @staticmethod
+    def _first_boundary(
+        what: str, period: Optional[int], offset: int
+    ) -> Optional[int]:
+        """First due cycle of one cadence: ``period + offset``.
+
+        Subsequent boundaries advance by the bare period, so the stagger is
+        preserved for the whole run.
+        """
+        if period is None:
+            if offset:
+                raise ConfigError(
+                    f"{what} offset {offset} given but the {what} has no "
+                    f"period"
+                )
+            return None
+        if not 0 <= offset < period:
+            raise ConfigError(
+                f"{what} offset must be in [0, {period}), got {offset}"
+            )
+        return period + offset
+
     def _next_boundary(self) -> Optional[int]:
         dues = [
             due
@@ -361,6 +406,9 @@ class System:
         if self._ran:
             raise SimulationError("System instances are single use")
         self._ran = True
+        start = (
+            time.perf_counter() if self.sim_profiler is not None else None
+        )
         self.policy.initialize(self.context)
         for core in self.cores:
             core.start()
@@ -368,9 +416,37 @@ class System:
         if first is not None and first < self.horizon:
             self.engine.schedule(first, self._on_epoch)
         self.engine.run()
+        if start is not None:
+            self._wall_seconds = time.perf_counter() - start
+        if self.telemetry is not None:
+            self.telemetry.close()
         if self.validate:
             self._validate_command_streams()
         return self._collect()
+
+    def profile_report(self) -> Dict[str, object]:
+        """Wall-clock profile of the completed run (``profile=True`` only)."""
+        if self.sim_profiler is None:
+            raise SimulationError("system was built without profile=True")
+        if self._wall_seconds is None:
+            raise SimulationError("profile_report() requires a finished run")
+        wall = self._wall_seconds
+        components = [
+            {
+                "component": name,
+                "seconds": seconds,
+                "events": events,
+                "share": seconds / wall if wall else 0.0,
+            }
+            for name, seconds, events in self.sim_profiler.breakdown()
+        ]
+        return {
+            "wall_seconds": wall,
+            "cycles": self.engine.now,
+            "cycles_per_second": self.engine.now / wall if wall else 0.0,
+            "events": self.engine.stat_events,
+            "components": components,
+        }
 
     def _validate_command_streams(self) -> None:
         org = self.config.organization
@@ -382,6 +458,44 @@ class System:
                 clock_ratio=self.config.clock_ratio,
             )
             validator.observe_all(channel.command_log or [])
+
+    def metrics_registry(self):
+        """Collect every component's counters into a fresh metrics registry.
+
+        Pull model: this walks the native ``stat_*`` counters on demand, so
+        it costs nothing during simulation and may be called at any point
+        (normally after :meth:`run`). Deterministic for a given state.
+        """
+        from ..metrics.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        cycles = registry.gauge(
+            "repro_sim_cycles", "Simulated CPU cycles elapsed"
+        )
+        cycles.set(self.engine.now)
+        registry.counter(
+            "repro_sim_engine_events_total", "Discrete events executed"
+        ).inc(self.engine.stat_events)
+        retired = registry.counter(
+            "repro_cpu_retired_insts_total", "Instructions retired per core"
+        )
+        for thread_id, core in enumerate(self.cores):
+            retired.inc(core.stats.retired_insts, thread=str(thread_id))
+        for channel in self.channels:
+            channel.collect_metrics(registry)
+        for controller in self.controllers:
+            controller.collect_metrics(registry)
+        self.scheduler.collect_metrics(registry)
+        self.allocator.collect_metrics(registry)
+        if self.migration is not None:
+            self.migration.collect_metrics(registry)
+        repartitions = getattr(self.policy, "stat_repartitions", None)
+        if repartitions is not None:
+            registry.counter(
+                "repro_policy_repartitions_total",
+                "Policy epochs that changed at least one allocation",
+            ).inc(repartitions, policy=self.policy.name)
+        return registry
 
     def _collect(self) -> SystemResult:
         result = SystemResult(horizon=self.horizon)

@@ -2,16 +2,29 @@
 
 See :mod:`repro.telemetry.recorder` for the cost model: a system built
 without a recorder pays one ``is None`` check per epoch boundary and
-nothing per request.
+nothing per request. :mod:`repro.telemetry.stream` adds the on-disk
+streaming sink (rotating JSONL with schema headers) and its loader.
 """
 
 from .recorder import ControllerProbe, TelemetryConfig, TelemetryRecorder
 from .report import render_decisions, render_timeline
+from .stream import (
+    STREAM_SCHEMA,
+    STREAM_SCHEMA_VERSION,
+    StoredTelemetry,
+    TelemetryStreamWriter,
+    load_stream,
+)
 
 __all__ = [
     "ControllerProbe",
+    "STREAM_SCHEMA",
+    "STREAM_SCHEMA_VERSION",
+    "StoredTelemetry",
     "TelemetryConfig",
     "TelemetryRecorder",
+    "TelemetryStreamWriter",
+    "load_stream",
     "render_decisions",
     "render_timeline",
 ]

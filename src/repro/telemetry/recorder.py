@@ -21,7 +21,9 @@ dicts, JSON) happens once per epoch.
 Records live in a bounded ring (:class:`collections.deque` with
 ``maxlen``): a long run keeps the newest ``capacity`` epochs and counts the
 evicted ones in ``dropped_epochs``, so memory is O(capacity) regardless of
-horizon.
+horizon. When ``stream_path`` is set, every record is *also* appended to a
+rotating JSONL file (see :mod:`repro.telemetry.stream`) before it can be
+evicted, so the full history survives on disk.
 """
 
 from __future__ import annotations
@@ -44,12 +46,23 @@ class TelemetryConfig:
     #: holds latencies of bit length i — [2^(i-1), 2^i) CPU cycles — and
     #: the last bucket is open-ended.
     latency_buckets: int = 14
+    #: When set, every epoch record is also appended to this JSONL file
+    #: (rotating, size-bounded) so history beyond ``capacity`` survives.
+    stream_path: Optional[str] = None
+    #: Rotate the stream file once a segment exceeds this many bytes.
+    stream_max_bytes: int = 16 * 1024 * 1024
+    #: Keep at most this many rotated segments besides the active file.
+    stream_max_files: int = 8
 
     def __post_init__(self) -> None:
         if self.capacity < 1:
             raise ConfigError("telemetry capacity must be >= 1")
         if self.latency_buckets < 2:
             raise ConfigError("latency_buckets must be >= 2")
+        if self.stream_max_bytes < 4096:
+            raise ConfigError("stream_max_bytes must be >= 4096")
+        if self.stream_max_files < 1:
+            raise ConfigError("stream_max_files must be >= 1")
 
 
 class ControllerProbe:
@@ -139,6 +152,17 @@ class TelemetryRecorder:
         self._policy = None
         self._scheduler = None
         self._last_pages_migrated = 0
+        self.stream = None
+        if self.config.stream_path is not None:
+            from .stream import TelemetryStreamWriter
+
+            self.stream = TelemetryStreamWriter(
+                self.config.stream_path,
+                capacity=self.config.capacity,
+                latency_buckets=self.config.latency_buckets,
+                max_bytes=self.config.stream_max_bytes,
+                max_files=self.config.stream_max_files,
+            )
 
     # ------------------------------------------------------------------
     # Wiring (called once by the System builder).
@@ -183,9 +207,13 @@ class TelemetryRecorder:
         }
         if fired_policy:
             record["policy"] = self._policy_decisions()
-        if fired_quantum:
+        if fired_quantum or fired_policy:
+            # On policy epochs too: batch schedulers like PAR-BS have no
+            # quantum, so this is the only boundary their state surfaces.
             record["scheduler"] = self._scheduler_state()
         self.records.append(record)
+        if self.stream is not None:
+            self.stream.write(record)
 
     def _policy_decisions(self) -> Dict[str, object]:
         """Duck-typed capture of whatever the policy exposes.
@@ -236,6 +264,11 @@ class TelemetryRecorder:
         with open(path, "w") as handle:
             handle.write(self.to_jsonl())
 
+    def close(self) -> None:
+        """Flush and close the streaming sink, if any (idempotent)."""
+        if self.stream is not None:
+            self.stream.close()
+
     def summary(self) -> Dict[str, object]:
         """Compact run-level digest (attached to store entry metadata)."""
         max_read_q = max_write_q = 0
@@ -254,6 +287,8 @@ class TelemetryRecorder:
             "max_write_queue_depth": max_write_q,
             "migration_casses": migration_casses,
         }
+        if self.stream is not None:
+            doc["streamed_epochs"] = self.stream.records_written
         repartitions = getattr(self._policy, "stat_repartitions", None)
         if repartitions is not None:
             doc["repartitions"] = repartitions

@@ -1,18 +1,23 @@
-"""Human-readable views of a :class:`TelemetryRecorder`.
+"""Human-readable views of recorded telemetry.
 
 Two tables, built for terminal widths:
 
 * the **epoch timeline** — one row per recorded boundary: which consumers
   fired, aggregate thread behaviour, queue depths, migration traffic;
 * the **decisions table** — one row per *policy* epoch: each thread's
-  estimated bank demand and the colors it was assigned.
+  estimated bank demand, the colors it was assigned, and the scheduler's
+  quantum/batch state at that boundary.
+
+Both renderers accept anything recorder-shaped — a live
+:class:`~repro.telemetry.recorder.TelemetryRecorder` or a
+:class:`~repro.telemetry.stream.StoredTelemetry` loaded from a JSONL
+stream — they only touch ``records``, ``dropped_epochs`` and
+``config.capacity``.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
-
-from .recorder import TelemetryRecorder
+from typing import Dict, List, Optional
 
 
 def _colors_compact(colors: List[int]) -> str:
@@ -31,9 +36,29 @@ def _colors_compact(colors: List[int]) -> str:
     return "[" + ",".join(parts) + "]"
 
 
-def render_timeline(
-    recorder: TelemetryRecorder, last: Optional[int] = None
-) -> str:
+def _sched_compact(doc: Dict[str, object]) -> str:
+    """One-cell digest of a scheduler's telemetry_state document."""
+    name = doc.get("name", "?")
+    if name == "tcm":
+        latency = sorted(doc.get("latency_cluster", []))
+        bandwidth = sorted(doc.get("bandwidth_cluster", []))
+        return (
+            f"tcm L={_colors_compact(latency)} "
+            f"B={_colors_compact(bandwidth)}"
+        )
+    if name == "parbs":
+        return (
+            f"parbs batch#{doc.get('batches', '?')} "
+            f"marked={doc.get('marked', '?')}"
+        )
+    if name == "atlas":
+        rank = doc.get("rank") or []
+        top = f"t{rank[0]}" if rank else "-"
+        return f"atlas top={top} q#{doc.get('quanta', '?')}"
+    return str(name)
+
+
+def render_timeline(recorder, last: Optional[int] = None) -> str:
     """The epoch timeline table (optionally only the newest ``last`` rows)."""
     records = list(recorder.records)
     if last is not None:
@@ -71,7 +96,7 @@ def render_timeline(
     return "\n".join(lines)
 
 
-def render_decisions(recorder: TelemetryRecorder) -> str:
+def render_decisions(recorder) -> str:
     """The policy-decisions table (policy epochs only)."""
     records = [r for r in recorder.records if r.get("policy")]
     if not records:
@@ -82,8 +107,10 @@ def render_decisions(recorder: TelemetryRecorder) -> str:
     cells = [
         f"t{t}: demand->colors" for t in thread_ids
     ]
-    header = f"{'cycle':>10} {'policy':<8} " + " | ".join(
-        f"{c:<22}" for c in cells
+    header = (
+        f"{'cycle':>10} {'policy':<8} "
+        + " | ".join(f"{c:<22}" for c in cells)
+        + f" | {'scheduler':<24}"
     )
     lines = [header, "-" * len(header)]
     for record in records:
@@ -102,8 +129,11 @@ def render_decisions(recorder: TelemetryRecorder) -> str:
             colors = allocation.get(t)
             got = _colors_compact(colors) if colors is not None else "-"
             row.append(f"{want:>4} -> {got:<14}")
+        sched = record.get("scheduler")
+        sched_cell = _sched_compact(sched) if sched else "-"
         lines.append(
             f"{record['cycle']:>10} {policy.get('name', '?'):<8} "
             + " | ".join(row)
+            + f" | {sched_cell:<24}"
         )
     return "\n".join(lines)

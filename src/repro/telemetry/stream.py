@@ -1,0 +1,277 @@
+"""Streaming telemetry sink: rotating, size-bounded JSONL on disk.
+
+The ring buffer in :class:`~repro.telemetry.recorder.TelemetryRecorder`
+keeps only the newest ``capacity`` epochs; horizon-scale runs need *every*
+epoch to explain why the policy repartitioned when it did. The stream
+writer spills each epoch record to a JSONL file as it is recorded, so the
+full history survives on disk regardless of ring capacity — and
+``repro-dbp trace --from-jsonl`` re-renders the timeline and decisions
+table from the file without re-simulating.
+
+File format (one JSON document per line):
+
+* every segment starts with a **header** line —
+  ``{"kind": "header", "schema": "repro-dbp-telemetry", "schema_version":
+  1, "capacity": ..., "latency_buckets": ..., "seq": N}`` — where ``seq``
+  is the number of epoch records written before this segment began (0 for
+  a fresh stream), which is what makes dropped history *recoverable*;
+* every other line is one epoch record, byte-identical to the
+  corresponding :meth:`TelemetryRecorder.to_jsonl` line.
+
+Rotation: when a segment exceeds ``max_bytes`` it is rotated to
+``<path>.1`` (older segments shift to ``.2``, ``.3``, ...), and segments
+beyond ``max_files`` are deleted. The loader reads oldest-first and reports
+rotated-away history as ``dropped_epochs`` (the oldest surviving header's
+``seq``), mirroring the ring buffer's accounting.
+
+Corrupt or truncated files fail loudly: :func:`load_stream` raises
+:class:`~repro.errors.ConfigError` naming the file and line, never a raw
+traceback from ``json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+from ..errors import ConfigError
+
+#: Schema identity written into (and required from) every segment header.
+STREAM_SCHEMA = "repro-dbp-telemetry"
+#: Bump when the epoch-record layout changes incompatibly.
+STREAM_SCHEMA_VERSION = 1
+
+
+def _encode(doc: Dict[str, object]) -> str:
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+class TelemetryStreamWriter:
+    """Appends epoch records to a rotating, size-bounded JSONL file."""
+
+    def __init__(
+        self,
+        path: str,
+        capacity: int,
+        latency_buckets: int,
+        max_bytes: int = 16 * 1024 * 1024,
+        max_files: int = 8,
+    ) -> None:
+        if max_bytes < 4096:
+            raise ConfigError("stream_max_bytes must be >= 4096")
+        if max_files < 1:
+            raise ConfigError("stream_max_files must be >= 1")
+        self.path = str(path)
+        self.capacity = capacity
+        self.latency_buckets = latency_buckets
+        self.max_bytes = max_bytes
+        self.max_files = max_files
+        #: Epoch records written over the stream's lifetime (all segments).
+        self.records_written = 0
+        self._bytes = 0
+        self._handle = None
+        self._open_segment()
+
+    # ------------------------------------------------------------------
+    def _header(self) -> Dict[str, object]:
+        return {
+            "kind": "header",
+            "schema": STREAM_SCHEMA,
+            "schema_version": STREAM_SCHEMA_VERSION,
+            "capacity": self.capacity,
+            "latency_buckets": self.latency_buckets,
+            "seq": self.records_written,
+        }
+
+    def _open_segment(self) -> None:
+        try:
+            self._handle = open(self.path, "w")
+        except OSError as error:
+            raise ConfigError(
+                f"cannot open telemetry stream {self.path!r}: {error}"
+            ) from None
+        line = _encode(self._header())
+        self._handle.write(line)
+        self._handle.flush()
+        self._bytes = len(line)
+
+    def _rotate(self) -> None:
+        self._handle.close()
+        self._handle = None
+        for index in range(self.max_files, 0, -1):
+            src = self.path if index == 1 else f"{self.path}.{index - 1}"
+            dst = f"{self.path}.{index}"
+            if index == self.max_files and os.path.exists(dst):
+                os.remove(dst)
+            if os.path.exists(src):
+                os.replace(src, dst)
+        self._open_segment()
+
+    # ------------------------------------------------------------------
+    def write(self, record: Dict[str, object]) -> None:
+        """Append one epoch record (flushed immediately: epochs are rare)."""
+        if self._handle is None:
+            raise ConfigError(f"telemetry stream {self.path!r} is closed")
+        line = _encode(record)
+        if self._bytes + len(line) > self.max_bytes:
+            self._rotate()
+        self._handle.write(line)
+        self._handle.flush()
+        self._bytes += len(line)
+        self.records_written += 1
+
+    def close(self) -> None:
+        """Close the active segment (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+# ---------------------------------------------------------------------------
+# Loading.
+# ---------------------------------------------------------------------------
+class _StoredConfig:
+    """Capacity/bucket view of a stored stream, shaped like TelemetryConfig."""
+
+    __slots__ = ("capacity", "latency_buckets")
+
+    def __init__(self, capacity: int, latency_buckets: int) -> None:
+        self.capacity = capacity
+        self.latency_buckets = latency_buckets
+
+
+class StoredTelemetry:
+    """A loaded telemetry stream, renderable like a live recorder.
+
+    Exposes exactly the surface :func:`~repro.telemetry.report
+    .render_timeline` and :func:`~repro.telemetry.report.render_decisions`
+    consume: ``records``, ``dropped_epochs``, and ``config``.
+    """
+
+    def __init__(
+        self,
+        records: List[Dict[str, object]],
+        dropped_epochs: int,
+        config: _StoredConfig,
+        source: str,
+        segments: int,
+    ) -> None:
+        self.records = records
+        self.dropped_epochs = dropped_epochs
+        self.config = config
+        self.source = source
+        self.segments = segments
+
+    @property
+    def epochs(self) -> int:
+        """Total epochs the originating run recorded (on disk + rotated away)."""
+        return self.dropped_epochs + len(self.records)
+
+    @property
+    def quanta(self) -> int:
+        return sum(1 for r in self.records if r.get("fired_quantum"))
+
+    @property
+    def policy_epochs(self) -> int:
+        return sum(1 for r in self.records if r.get("fired_policy"))
+
+
+def _segment_paths(path: str) -> List[str]:
+    """All on-disk segments of a stream, oldest first."""
+    rotated = []
+    index = 1
+    while os.path.exists(f"{path}.{index}"):
+        rotated.append(f"{path}.{index}")
+        index += 1
+    return list(reversed(rotated)) + [path]
+
+
+def _parse_header(path: str, line: str) -> Dict[str, object]:
+    try:
+        doc = json.loads(line)
+    except ValueError:
+        raise ConfigError(
+            f"{path}:1: not a telemetry stream (invalid header line)"
+        ) from None
+    if not isinstance(doc, dict) or doc.get("kind") != "header":
+        raise ConfigError(
+            f"{path}:1: not a telemetry stream (missing header line)"
+        )
+    if doc.get("schema") != STREAM_SCHEMA:
+        raise ConfigError(
+            f"{path}:1: unknown telemetry schema {doc.get('schema')!r}"
+        )
+    version = doc.get("schema_version")
+    if not isinstance(version, int) or version > STREAM_SCHEMA_VERSION:
+        raise ConfigError(
+            f"{path}:1: telemetry schema version {version!r} is newer than "
+            f"this reader (supports <= {STREAM_SCHEMA_VERSION})"
+        )
+    return doc
+
+
+def load_stream(path: str) -> StoredTelemetry:
+    """Load a streamed telemetry file (plus its rotated siblings).
+
+    Raises :class:`ConfigError` — never a raw decode traceback — for a
+    missing file, a missing/foreign header, a corrupt or truncated record
+    line, or a gap between rotated segments.
+    """
+    path = str(path)
+    if not os.path.exists(path):
+        raise ConfigError(f"telemetry stream {path!r} does not exist")
+    records: List[Dict[str, object]] = []
+    dropped: Optional[int] = None
+    header: Optional[Dict[str, object]] = None
+    segments = _segment_paths(path)
+    expected_seq: Optional[int] = None
+    for segment in segments:
+        try:
+            with open(segment) as handle:
+                lines = handle.read().splitlines()
+        except OSError as error:
+            raise ConfigError(
+                f"cannot read telemetry stream {segment!r}: {error}"
+            ) from None
+        if not lines:
+            raise ConfigError(f"{segment}:1: empty telemetry stream segment")
+        header = _parse_header(segment, lines[0])
+        seq = header.get("seq", 0)
+        if not isinstance(seq, int) or seq < 0:
+            raise ConfigError(f"{segment}:1: invalid header seq {seq!r}")
+        if dropped is None:
+            dropped = seq  # history rotated away before the oldest segment
+        elif expected_seq is not None and seq != expected_seq:
+            raise ConfigError(
+                f"{segment}:1: segment starts at record {seq} but "
+                f"{expected_seq} records precede it (missing rotation?)"
+            )
+        for offset, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                raise ConfigError(
+                    f"{segment}:{offset}: corrupt telemetry record "
+                    f"(truncated or not JSON)"
+                ) from None
+            if not isinstance(record, dict) or "cycle" not in record:
+                raise ConfigError(
+                    f"{segment}:{offset}: not an epoch record "
+                    f"(missing 'cycle')"
+                )
+            records.append(record)
+        expected_seq = dropped + len(records) if dropped is not None else None
+    config = _StoredConfig(
+        capacity=int(header.get("capacity", 0) or 0),
+        latency_buckets=int(header.get("latency_buckets", 0) or 0),
+    )
+    return StoredTelemetry(
+        records=records,
+        dropped_epochs=dropped or 0,
+        config=config,
+        source=path,
+        segments=len(segments),
+    )

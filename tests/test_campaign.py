@@ -416,3 +416,73 @@ class TestCampaignCLI:
         assert doc["summary"]["total"] == 1
         assert doc["runs"][0]["status"] == "ok"
         assert doc["runs"][0]["metrics"]["ws"] > 0
+
+
+class TestAggregateTelemetry:
+    def _outcome(self, telemetry):
+        from types import SimpleNamespace
+
+        result = (
+            None if telemetry == "no-result"
+            else SimpleNamespace(telemetry=telemetry)
+        )
+        return SimpleNamespace(result=result)
+
+    def test_sums_counters_and_maxes_depths(self):
+        from repro.campaign import aggregate_telemetry
+
+        merged = aggregate_telemetry(
+            [
+                self._outcome(
+                    {
+                        "epochs": 3,
+                        "quanta": 3,
+                        "repartitions": 2,
+                        "max_read_queue_depth": 10,
+                    }
+                ),
+                self._outcome(
+                    {
+                        "epochs": 5,
+                        "quanta": 5,
+                        "repartitions": 1,
+                        "max_read_queue_depth": 7,
+                        "streamed_epochs": 5,
+                    }
+                ),
+                self._outcome(None),  # a run without telemetry
+            ]
+        )
+        assert merged["runs"] == 2
+        assert merged["epochs"] == 8
+        assert merged["quanta"] == 8
+        assert merged["repartitions"] == 3
+        assert merged["max_read_queue_depth"] == 10
+        assert merged["streamed_epochs"] == 5
+        # Fields no run reported are dropped, not reported as 0.
+        assert "pages_migrated" not in merged
+
+    def test_none_when_no_run_recorded(self):
+        from repro.campaign import aggregate_telemetry
+
+        assert aggregate_telemetry([]) is None
+        assert aggregate_telemetry([self._outcome(None)]) is None
+        assert aggregate_telemetry([self._outcome("no-result")]) is None
+
+    def test_accepts_a_generator(self):
+        from repro.campaign import aggregate_telemetry
+
+        outcomes = (self._outcome({"epochs": 2}) for _ in range(3))
+        assert aggregate_telemetry(outcomes)["epochs"] == 6
+
+    def test_campaign_report_carries_telemetry_line(self, specs):
+        from dataclasses import replace
+
+        from repro.campaign import render_report
+
+        recorded = [replace(spec, telemetry=True) for spec in specs]
+        result = execute(recorded, jobs=1)
+        assert [o.status for o in result.outcomes] == ["ok", "ok"]
+        report = render_report(result)
+        assert "telemetry: 2 recorded run(s);" in report
+        assert "epochs=" in report

@@ -57,3 +57,104 @@ class TestRun:
     def test_run_unknown_experiment_errors(self, capsys):
         assert main(["run", "F77"]) == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestTrace:
+    def test_trace_renders_timeline_and_decisions(self, capsys):
+        assert main(["--horizon", "45000", "trace", "M4"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle" in out
+        assert "scheduler" in out
+
+    def test_trace_streams_then_rerenders_from_jsonl(self, tmp_path, capsys):
+        stream = tmp_path / "run.jsonl"
+        assert main(
+            ["--horizon", "45000", "trace", "M4", "--stream", str(stream)]
+        ) == 0
+        live = capsys.readouterr().out
+        assert f"streamed" in live
+        assert stream.exists()
+
+        assert main(["trace", "--from-jsonl", str(stream)]) == 0
+        stored = capsys.readouterr().out
+        assert "epochs" in stored
+        # The stored rendering repeats the live tables verbatim.
+        for line in live.splitlines():
+            if line.startswith("| "):
+                assert line in stored
+
+    def test_trace_small_capacity_reports_dropped_epochs(
+        self, tmp_path, capsys
+    ):
+        stream = tmp_path / "run.jsonl"
+        assert main(
+            [
+                "--horizon", "130000", "trace", "M4",
+                "--capacity", "2", "--stream", str(stream),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", "--from-jsonl", str(stream)]) == 0
+        out = capsys.readouterr().out
+        # All 5 boundaries survive on disk even though the ring held 2.
+        assert "epochs=5" in out
+        assert "dropped_epochs=0" in out
+
+    def test_from_jsonl_with_mix_is_an_error(self, tmp_path, capsys):
+        assert main(
+            ["trace", "M4", "--from-jsonl", str(tmp_path / "x.jsonl")]
+        ) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace_without_mix_or_jsonl_is_an_error(self, capsys):
+        assert main(["trace"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_corrupt_jsonl_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(
+            '{"kind": "header", "schema": "repro-dbp-telemetry",'
+            ' "schema_version": 1, "seq": 0}\n'
+            '{"cycle": 10000, "truncat\n'
+        )
+        assert main(["trace", "--from-jsonl", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "corrupt" in err
+
+    def test_missing_jsonl_fails_cleanly(self, tmp_path, capsys):
+        assert main(
+            ["trace", "--from-jsonl", str(tmp_path / "nope.jsonl")]
+        ) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace_profile_prints_breakdown(self, capsys):
+        assert main(
+            ["--horizon", "30000", "trace", "M4", "--profile"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cycles/sec" in out
+        assert "ChannelController" in out
+
+
+class TestMetrics:
+    def test_metrics_prometheus_output(self, capsys):
+        assert main(["--horizon", "20000", "metrics", "M4"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_ctrl_requests_served_total counter" in out
+        assert "repro_sim_cycles 20000" in out
+
+    def test_metrics_json_output(self, capsys):
+        assert main(
+            ["--horizon", "20000", "metrics", "M4", "--format", "json"]
+        ) == 0
+        out = capsys.readouterr().out
+        import json
+
+        snapshot = json.loads(out)
+        names = [m["name"] for m in snapshot["metrics"]]
+        assert "repro_dram_commands_total" in names
+
+    def test_metrics_unknown_mix_errors(self, capsys):
+        assert main(["metrics", "M99"]) == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,155 @@
+"""Metrics registry units, Prometheus rendering, and simulator wiring."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    prometheus_text,
+)
+from repro.campaign.store import ResultStore
+
+
+class TestPrimitives:
+    def test_counter_accumulates_per_label_set(self):
+        counter = Counter("repro_test_total", "help")
+        counter.inc(thread="0")
+        counter.inc(2, thread="0")
+        counter.inc(thread="1")
+        assert counter.value(thread="0") == 3
+        assert counter.value(thread="1") == 1
+        assert counter.value(thread="9") == 0
+
+    def test_counter_rejects_negative_increment(self):
+        counter = Counter("repro_test_total", "")
+        with pytest.raises(ConfigError):
+            counter.inc(-1)
+
+    def test_gauge_set_overwrites(self):
+        gauge = Gauge("repro_depth", "")
+        gauge.set(4, queue="read")
+        gauge.set(7, queue="read")
+        assert gauge.value(queue="read") == 7
+
+    def test_histogram_buckets_are_cumulative(self):
+        hist = Histogram("repro_lat", "", buckets=(10.0, 100.0))
+        for value in (5, 50, 500):
+            hist.observe(value)
+        (sample,) = hist._sample_docs()
+        assert sample["buckets"] == [[10.0, 1], [100.0, 2]]
+        assert sample["count"] == 3
+        assert sample["sum"] == 555
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ConfigError):
+            Histogram("repro_lat", "", buckets=(100.0, 10.0))
+
+    def test_invalid_metric_name_rejected(self):
+        with pytest.raises(ConfigError):
+            Counter("bad name!", "")
+
+
+class TestRegistry:
+    def test_same_name_returns_same_instance(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_x_total", "h")
+        b = registry.counter("repro_x_total")
+        assert a is b
+
+    def test_kind_mismatch_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total")
+        with pytest.raises(ConfigError):
+            registry.gauge("repro_x_total")
+
+    def test_snapshot_is_deterministic_and_json_safe(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.gauge("repro_b").set(2, zone="z")
+            registry.counter("repro_a_total").inc(5, thread="1")
+            registry.counter("repro_a_total").inc(1, thread="0")
+            return registry.snapshot()
+
+        first, second = build(), build()
+        assert first == second
+        assert json.loads(json.dumps(first)) == first
+        names = [m["name"] for m in first["metrics"]]
+        assert names == sorted(names)
+
+
+class TestPrometheusText:
+    def test_renders_counters_gauges_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_reqs_total", "requests").inc(3, op="read")
+        registry.gauge("repro_depth", "queue depth").set(4)
+        registry.histogram("repro_lat", "latency", buckets=(10.0,)).observe(7)
+        text = prometheus_text(registry.snapshot())
+        assert "# HELP repro_reqs_total requests" in text
+        assert "# TYPE repro_reqs_total counter" in text
+        assert 'repro_reqs_total{op="read"} 3' in text
+        assert "repro_depth 4" in text
+        assert 'repro_lat_bucket{le="10"} 1' in text
+        assert 'repro_lat_bucket{le="+Inf"} 1' in text
+        assert "repro_lat_sum 7" in text
+        assert "repro_lat_count 1" in text
+        assert text.endswith("\n")
+
+    def test_renders_from_stored_snapshot_dict(self):
+        # Round-trip through JSON: the renderer must not need live objects.
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total").inc(2)
+        snapshot = json.loads(json.dumps(registry.snapshot()))
+        assert "repro_x_total 2" in prometheus_text(snapshot)
+
+    def test_rejects_non_snapshot_input(self):
+        with pytest.raises(ConfigError):
+            prometheus_text({"nope": 1})
+
+
+class TestSimulatorWiring:
+    def test_system_registry_covers_all_components(self, small_config):
+        from repro.core.dbp import DBPConfig, DynamicBankPartitioning
+        from repro.sim.system import System
+        from repro.workloads import AppProfile, generate_trace
+
+        profile = AppProfile("heavy", 25.0, 0.7, 4, 0.3, 1)
+        config = small_config.with_scheduler("tcm", quantum_cycles=10_000)
+        system = System(
+            config,
+            [generate_trace(profile, seed=s, target_insts=200_000)
+             for s in (1, 2)],
+            horizon=40_000,
+            policy=DynamicBankPartitioning(DBPConfig(epoch_cycles=20_000)),
+        )
+        system.run()
+        snapshot = system.metrics_registry().snapshot()
+        names = {m["name"] for m in snapshot["metrics"]}
+        assert "repro_sim_cycles" in names
+        assert "repro_cpu_retired_insts_total" in names
+        assert "repro_dram_commands_total" in names
+        assert "repro_ctrl_requests_served_total" in names
+        assert "repro_sched_quanta_total" in names
+        assert "repro_osmm_frame_allocations_total" in names
+        assert "repro_policy_repartitions_total" in names
+
+    def test_runner_attaches_snapshot_and_store_round_trips_it(
+        self, fast_runner, tmp_path
+    ):
+        result = fast_runner.run_apps(["lbm", "gcc"], "dbp-tcm")
+        assert result.metrics_snapshot is not None
+        assert result.metrics_snapshot["metrics"]
+        text = prometheus_text(result.metrics_snapshot)
+        assert "repro_ctrl_requests_served_total" in text
+
+        store = ResultStore(tmp_path / "store")
+        key = "cd" + "0" * 62
+        store.put(key, result, wall_clock=1.0)
+        restored, _ = store.get(key)
+        assert restored.metrics_snapshot == result.metrics_snapshot

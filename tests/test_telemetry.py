@@ -14,7 +14,10 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.baselines import SharedPolicy
+from repro.errors import ConfigError
 from repro.baselines.base import PartitionPolicy
 from repro.config import ControllerConfig
 from repro.core.dbp import DBPConfig, DynamicBankPartitioning
@@ -395,3 +398,155 @@ class TestRunnerIntegration:
         assert second.telemetry == first.telemetry
         assert resumed.last_telemetry is None
         assert store.stats.hits == 1
+
+
+# ---------------------------------------------------------------------------
+# Per-policy epoch offsets: staggered quantum vs. policy-epoch boundaries.
+# ---------------------------------------------------------------------------
+class TestEpochOffsets:
+    def _offset_system(self, small_config, recorder=None, **kwargs):
+        config = small_config.with_scheduler("tcm", quantum_cycles=10_000)
+        policy = DynamicBankPartitioning(DBPConfig(epoch_cycles=20_000))
+        return System(
+            config,
+            traces(),
+            horizon=66_000,
+            policy=policy,
+            telemetry=recorder,
+            **kwargs,
+        )
+
+    def test_staggered_cadences_fire_at_their_own_periods(self, small_config):
+        # Quantum every 10k from 10k; policy every 20k offset by 5k, so it
+        # fires at 25k/45k/65k — never on a quantum boundary.
+        recorder = TelemetryRecorder()
+        system = self._offset_system(
+            small_config, recorder, policy_epoch_offset=5_000
+        )
+        system.run()
+        assert system.scheduler.stat_quanta == 6
+        assert system.policy.stat_repartitions == 3
+        cycles = [r["cycle"] for r in recorder.records]
+        assert cycles == [
+            10_000, 20_000, 25_000, 30_000, 40_000, 45_000,
+            50_000, 60_000, 65_000,
+        ]
+        policy_cycles = [
+            r["cycle"] for r in recorder.records if r["fired_policy"]
+        ]
+        assert policy_cycles == [25_000, 45_000, 65_000]
+        # Staggered boundaries never coincide: each record fired exactly
+        # one cadence.
+        assert all(
+            r["fired_quantum"] != r["fired_policy"] for r in recorder.records
+        )
+
+    def test_quantum_offset_shifts_scheduler_only(self, small_config):
+        recorder = TelemetryRecorder()
+        system = self._offset_system(
+            small_config, recorder, quantum_offset=3_000
+        )
+        system.run()
+        quantum_cycles = [
+            r["cycle"] for r in recorder.records if r["fired_quantum"]
+        ]
+        assert quantum_cycles == [
+            13_000, 23_000, 33_000, 43_000, 53_000, 63_000
+        ]
+        policy_cycles = [
+            r["cycle"] for r in recorder.records if r["fired_policy"]
+        ]
+        assert policy_cycles == [20_000, 40_000, 60_000]
+
+    def test_policy_class_attribute_supplies_default_offset(
+        self, small_config
+    ):
+        class OffsetDBP(DynamicBankPartitioning):
+            epoch_offset = 5_000
+
+        config = small_config.with_scheduler("tcm", quantum_cycles=10_000)
+        system = System(
+            config,
+            traces(),
+            horizon=30_000,
+            policy=OffsetDBP(DBPConfig(epoch_cycles=20_000)),
+        )
+        system.run()
+        # First epoch at 25k (20k + 5k class-attribute offset).
+        assert system.policy.stat_repartitions == 1
+
+    def test_offset_outside_period_rejected(self, small_config):
+        with pytest.raises(ConfigError, match="policy epoch offset"):
+            self._offset_system(small_config, policy_epoch_offset=20_000)
+        with pytest.raises(ConfigError, match="quantum offset"):
+            self._offset_system(small_config, quantum_offset=-1)
+
+    def test_offset_without_period_rejected(self, small_config):
+        config = small_config.with_scheduler("tcm", quantum_cycles=10_000)
+        with pytest.raises(ConfigError, match="has no period"):
+            System(
+                config,
+                traces(),
+                horizon=30_000,
+                policy=SharedPolicy(),
+                policy_epoch_offset=1_000,
+            )
+
+
+# ---------------------------------------------------------------------------
+# Scheduler telemetry_state: PAR-BS and ATLAS internals in the record.
+# ---------------------------------------------------------------------------
+class TestSchedulerTelemetryState:
+    def test_parbs_state_surfaces_on_policy_epochs(self, small_config):
+        # PAR-BS has no quantum: the policy epoch is the only boundary its
+        # batch state can surface on.
+        recorder = TelemetryRecorder()
+        config = small_config.with_scheduler("parbs")
+        system = System(
+            config,
+            traces(),
+            horizon=45_000,
+            policy=DynamicBankPartitioning(DBPConfig(epoch_cycles=20_000)),
+            telemetry=recorder,
+        )
+        system.run()
+        assert all(r["fired_policy"] for r in recorder.records)
+        docs = [r["scheduler"] for r in recorder.records]
+        assert docs
+        doc = docs[-1]
+        assert doc["name"] == "parbs"
+        assert doc["batches"] >= 1
+        assert doc["marked"] >= 0
+        # Rank covers the threads that had queued requests at batch time.
+        assert doc["rank"]
+        assert set(doc["rank"]) <= {0, 1}
+
+    def test_atlas_state_surfaces_on_quanta(self, small_config):
+        recorder = TelemetryRecorder()
+        config = small_config.with_scheduler("atlas", quantum_cycles=10_000)
+        system = System(
+            config,
+            traces(),
+            horizon=35_000,
+            policy=SharedPolicy(),
+            telemetry=recorder,
+        )
+        system.run()
+        docs = [
+            r["scheduler"] for r in recorder.records if r["fired_quantum"]
+        ]
+        assert docs
+        doc = docs[-1]
+        assert doc["name"] == "atlas"
+        assert doc["quanta"] == len(docs)
+        assert sorted(doc["attained"]) == ["0", "1"]
+        assert sorted(doc["rank"]) == [0, 1]
+
+    def test_decisions_table_renders_scheduler_column(self, small_config):
+        recorder = TelemetryRecorder()
+        system = dbp_tcm_system(small_config, horizon=45_000, recorder=recorder)
+        system.run()
+        table = render_decisions(recorder)
+        header = table.splitlines()[0]
+        assert "scheduler" in header
+        assert "tcm L=[" in table

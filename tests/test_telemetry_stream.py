@@ -1,0 +1,253 @@
+"""Streaming telemetry sink: spill-to-disk, rotation, loading, corruption.
+
+The acceptance property pinned here: a run longer than the ring capacity
+keeps only ``capacity`` epochs in memory but *every* epoch on disk, and the
+stored stream renders the same timeline as the live recorder for the
+retained window.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.dbp import DBPConfig, DynamicBankPartitioning
+from repro.errors import ConfigError
+from repro.sim.system import System
+from repro.telemetry import (
+    STREAM_SCHEMA,
+    STREAM_SCHEMA_VERSION,
+    TelemetryConfig,
+    TelemetryRecorder,
+    TelemetryStreamWriter,
+    load_stream,
+    render_decisions,
+    render_timeline,
+)
+from repro.workloads import AppProfile, generate_trace
+
+HEAVY = AppProfile("heavy", 25.0, 0.7, 4, 0.3, 1)
+LIGHT = AppProfile("light", 0.4, 0.6, 2, 0.2, 1)
+
+
+def traces(seed=1, target_insts=500_000):
+    return [
+        generate_trace(HEAVY, seed=seed, target_insts=target_insts),
+        generate_trace(LIGHT, seed=seed, target_insts=target_insts),
+    ]
+
+
+def run_system(small_config, recorder, horizon=65_000):
+    config = small_config.with_scheduler("tcm", quantum_cycles=10_000)
+    policy = DynamicBankPartitioning(DBPConfig(epoch_cycles=20_000))
+    system = System(
+        config, traces(), horizon=horizon, policy=policy, telemetry=recorder
+    )
+    result = system.run()
+    return system, result
+
+
+class TestStreamWriter:
+    def test_segment_starts_with_schema_header(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        writer = TelemetryStreamWriter(str(path), capacity=4, latency_buckets=14)
+        writer.write({"cycle": 10})
+        writer.close()
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["kind"] == "header"
+        assert header["schema"] == STREAM_SCHEMA
+        assert header["schema_version"] == STREAM_SCHEMA_VERSION
+        assert header["seq"] == 0
+        assert header["capacity"] == 4
+        assert json.loads(lines[1]) == {"cycle": 10}
+
+    def test_rotation_carries_seq_and_bounds_files(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        writer = TelemetryStreamWriter(
+            str(path),
+            capacity=4,
+            latency_buckets=14,
+            max_bytes=4096,
+            max_files=2,
+        )
+        # ~300 bytes per record forces several rotations within 100 writes.
+        pad = "x" * 280
+        for cycle in range(100):
+            writer.write({"cycle": cycle, "pad": pad})
+        writer.close()
+        assert path.exists()
+        assert (tmp_path / "stream.jsonl.1").exists()
+        assert (tmp_path / "stream.jsonl.2").exists()
+        assert not (tmp_path / "stream.jsonl.3").exists()
+        stored = load_stream(str(path))
+        # Retained records are contiguous and end at the newest write.
+        cycles = [r["cycle"] for r in stored.records]
+        assert cycles == list(range(stored.dropped_epochs, 100))
+        assert stored.dropped_epochs > 0
+        assert stored.epochs == 100
+
+    def test_close_is_idempotent_and_write_after_close_raises(self, tmp_path):
+        writer = TelemetryStreamWriter(
+            str(tmp_path / "s.jsonl"), capacity=4, latency_buckets=14
+        )
+        writer.close()
+        writer.close()
+        with pytest.raises(ConfigError):
+            writer.write({"cycle": 1})
+
+    def test_rejects_tiny_max_bytes(self, tmp_path):
+        with pytest.raises(ConfigError):
+            TelemetryStreamWriter(
+                str(tmp_path / "s.jsonl"),
+                capacity=4,
+                latency_buckets=14,
+                max_bytes=100,
+            )
+
+
+class TestRecorderStreaming:
+    def test_all_epochs_survive_on_disk_past_ring_capacity(
+        self, small_config, tmp_path
+    ):
+        path = tmp_path / "run.jsonl"
+        recorder = TelemetryRecorder(
+            TelemetryConfig(capacity=2, stream_path=str(path))
+        )
+        run_system(small_config, recorder)
+        # The ring kept 2 of 6 epochs; the stream kept all 6.
+        assert recorder.epochs == 6
+        assert len(recorder.records) == 2
+        assert recorder.dropped_epochs == 4
+        stored = load_stream(str(path))
+        assert stored.epochs == 6
+        assert [r["cycle"] for r in stored.records] == [
+            10_000, 20_000, 30_000, 40_000, 50_000, 60_000
+        ]
+        assert recorder.summary()["streamed_epochs"] == 6
+
+    def test_streamed_records_match_ring_records_exactly(
+        self, small_config, tmp_path
+    ):
+        path = tmp_path / "run.jsonl"
+        recorder = TelemetryRecorder(
+            TelemetryConfig(stream_path=str(path))
+        )
+        run_system(small_config, recorder)
+        stored = load_stream(str(path))
+        assert stored.records == list(recorder.records)
+        assert stored.dropped_epochs == 0
+
+    def test_stored_stream_renders_same_tables_as_recorder(
+        self, small_config, tmp_path
+    ):
+        path = tmp_path / "run.jsonl"
+        recorder = TelemetryRecorder(
+            TelemetryConfig(stream_path=str(path))
+        )
+        run_system(small_config, recorder)
+        stored = load_stream(str(path))
+        assert render_timeline(stored) == render_timeline(recorder)
+        assert render_decisions(stored) == render_decisions(recorder)
+
+    def test_streaming_does_not_change_simulation_results(
+        self, small_config, tmp_path
+    ):
+        baseline, base_result = run_system(small_config, recorder=None)
+        streamed_rec = TelemetryRecorder(
+            TelemetryConfig(capacity=2, stream_path=str(tmp_path / "s.jsonl"))
+        )
+        streamed, stream_result = run_system(small_config, recorder=streamed_rec)
+        assert baseline.engine.stat_events == streamed.engine.stat_events
+        assert base_result.threads == stream_result.threads
+        assert base_result.total_commands == stream_result.total_commands
+        assert base_result.pages_migrated == stream_result.pages_migrated
+
+
+class TestLoadStreamErrors:
+    def _valid_stream(self, tmp_path):
+        path = tmp_path / "v.jsonl"
+        writer = TelemetryStreamWriter(str(path), capacity=4, latency_buckets=14)
+        writer.write({"cycle": 1, "fired_quantum": True, "fired_policy": False})
+        writer.write({"cycle": 2, "fired_quantum": True, "fired_policy": True})
+        writer.close()
+        return path
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError, match="does not exist"):
+            load_stream(str(tmp_path / "nope.jsonl"))
+
+    def test_truncated_record_line_names_file_and_line(self, tmp_path):
+        path = self._valid_stream(tmp_path)
+        text = path.read_text()
+        path.write_text(text[: len(text) - 20])  # chop mid-record
+        with pytest.raises(ConfigError, match=r"\.jsonl:3: corrupt"):
+            load_stream(str(path))
+
+    def test_garbage_line_raises_config_error(self, tmp_path):
+        path = self._valid_stream(tmp_path)
+        with open(path, "a") as handle:
+            handle.write("!!! not json !!!\n")
+        with pytest.raises(ConfigError, match="corrupt telemetry record"):
+            load_stream(str(path))
+
+    def test_non_record_document_rejected(self, tmp_path):
+        path = self._valid_stream(tmp_path)
+        with open(path, "a") as handle:
+            handle.write('{"no_cycle": true}\n')
+        with pytest.raises(ConfigError, match="missing 'cycle'"):
+            load_stream(str(path))
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text('{"cycle": 1}\n')
+        with pytest.raises(ConfigError, match="missing header"):
+            load_stream(str(path))
+
+    def test_foreign_schema_rejected(self, tmp_path):
+        path = tmp_path / "f.jsonl"
+        path.write_text('{"kind": "header", "schema": "other", "seq": 0}\n')
+        with pytest.raises(ConfigError, match="unknown telemetry schema"):
+            load_stream(str(path))
+
+    def test_newer_schema_version_rejected(self, tmp_path):
+        path = tmp_path / "n.jsonl"
+        path.write_text(
+            json.dumps(
+                {
+                    "kind": "header",
+                    "schema": STREAM_SCHEMA,
+                    "schema_version": STREAM_SCHEMA_VERSION + 1,
+                    "seq": 0,
+                }
+            )
+            + "\n"
+        )
+        with pytest.raises(ConfigError, match="newer than this reader"):
+            load_stream(str(path))
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text("")
+        with pytest.raises(ConfigError, match="empty telemetry stream"):
+            load_stream(str(path))
+
+    def test_segment_gap_detected(self, tmp_path):
+        path = tmp_path / "g.jsonl"
+        header = {
+            "kind": "header",
+            "schema": STREAM_SCHEMA,
+            "schema_version": STREAM_SCHEMA_VERSION,
+            "capacity": 4,
+            "latency_buckets": 14,
+        }
+        (tmp_path / "g.jsonl.1").write_text(
+            json.dumps({**header, "seq": 0}) + "\n" + '{"cycle": 1}\n'
+        )
+        # Active segment claims 5 records precede it; only 1 exists.
+        path.write_text(
+            json.dumps({**header, "seq": 5}) + "\n" + '{"cycle": 6}\n'
+        )
+        with pytest.raises(ConfigError, match="missing rotation"):
+            load_stream(str(path))
