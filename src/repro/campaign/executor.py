@@ -141,7 +141,11 @@ def _execute_with_timeout(
         and threading.current_thread() is threading.main_thread()
     ):
         signal.signal(signal.SIGALRM, _alarm_handler)
-        signal.setitimer(signal.ITIMER_REAL, timeout)
+        # Repeating interval: if the first alarm lands while the interpreter
+        # is inside a C-level callback that swallows exceptions (e.g. a GC
+        # hook), the timeout would otherwise be silently lost. A re-firing
+        # timer guarantees a later alarm reaches normal bytecode.
+        signal.setitimer(signal.ITIMER_REAL, timeout, min(timeout, 0.05))
         alarmed = True
     try:
         return execute_one(spec)

@@ -17,11 +17,18 @@ from typing import List, Optional, Sequence, Tuple
 from ..config import SystemConfig
 from ..core.integration import get_approach
 from ..errors import ExperimentError
-from ..workloads import get_mix
+from ..workloads import resolve_mix
 from .store import run_key, runner_fingerprint
 
 #: The F2/F3 headline grid's approaches — the campaign CLI default.
 DEFAULT_APPROACHES: Tuple[str, ...] = ("shared-frfcfs", "ebp", "dbp")
+
+
+def _mix_trace_digests(apps: Sequence[str]) -> Tuple[Tuple[str, str], ...]:
+    """Sorted (app, digest) pairs for the library traces among ``apps``."""
+    from ..traces.registry import library_digests
+
+    return tuple(sorted(library_digests(apps).items()))
 
 
 @dataclass(frozen=True)
@@ -42,6 +49,11 @@ class RunSpec:
     #: never changes simulation results, so traced and untraced runs share
     #: one store entry.
     telemetry: bool = False
+    #: ``(app, digest)`` pairs for every app in ``apps`` that resolves to a
+    #: library trace. Part of :meth:`key` (library traces are addressed by
+    #: content, not name); empty for all-synthetic specs, which keeps those
+    #: keys byte-identical to pre-library campaigns.
+    trace_digests: Tuple[Tuple[str, str], ...] = ()
 
     def __post_init__(self) -> None:
         if not self.apps:
@@ -66,6 +78,7 @@ class RunSpec:
             target_insts=self.target_insts,
             ahead_limit=self.ahead_limit,
             validate=self.validate,
+            trace_digests=dict(self.trace_digests),
         )
 
     def runner_key(self) -> str:
@@ -103,7 +116,7 @@ class CampaignSpec:
         if not self.seeds or not self.horizons:
             raise ExperimentError("a campaign needs seeds and horizons")
         for name in self.mixes:
-            get_mix(name)  # validate names before any work happens
+            resolve_mix(name)  # validate names before any work happens
         for name in self.approaches:
             get_approach(name)
 
@@ -113,7 +126,8 @@ class CampaignSpec:
         for horizon in self.horizons:
             for seed in self.seeds:
                 for mix_name in self.mixes:
-                    mix = get_mix(mix_name)
+                    mix = resolve_mix(mix_name)
+                    digests = _mix_trace_digests(mix.apps)
                     for approach in self.approaches:
                         specs.append(
                             RunSpec(
@@ -127,6 +141,7 @@ class CampaignSpec:
                                 validate=self.validate,
                                 mix_name=mix.name,
                                 telemetry=self.telemetry,
+                                trace_digests=digests,
                             )
                         )
         return specs
@@ -144,7 +159,8 @@ def plan_sweep(
     """
     specs: List[RunSpec] = []
     for mix_name in mixes:
-        mix = get_mix(mix_name)
+        mix = resolve_mix(mix_name)
+        digests = tuple(sorted(runner.library_digests(mix.apps).items()))
         for approach in approaches:
             specs.append(
                 RunSpec(
@@ -157,6 +173,7 @@ def plan_sweep(
                     ahead_limit=runner.ahead_limit,
                     validate=runner.validate,
                     mix_name=mix.name,
+                    trace_digests=digests,
                 )
             )
     return specs

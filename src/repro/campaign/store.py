@@ -32,7 +32,7 @@ import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from ..config import SystemConfig
 from ..core.integration import get_approach
@@ -65,12 +65,20 @@ def run_key(
     target_insts: int,
     ahead_limit: int = 8192,
     validate: bool = False,
+    trace_digests: Optional[Mapping[str, str]] = None,
 ) -> str:
     """Content hash addressing one (config, apps, approach, seed, horizon) run.
 
     The approach is resolved through the registry so the key binds the
     *resolved* policy and scheduler (names and parameters), not just the
     label: two registrations sharing a label can never collide.
+
+    ``trace_digests`` maps library-trace app names to their
+    :attr:`~repro.cpu.trace.Trace.digest`. Library traces are *not* pure
+    functions of (name, seed, target_insts) — the file behind a name can
+    change — so their content digests must be part of the address. The
+    field is folded in only when non-empty, which leaves every
+    all-synthetic key (and the results already stored under it) untouched.
     """
     spec = get_approach(approach)
     doc = {
@@ -90,6 +98,11 @@ def run_key(
         "ahead_limit": ahead_limit,
         "validate": bool(validate),
     }
+    if trace_digests:
+        doc["library_traces"] = {
+            str(app): str(digest)
+            for app, digest in dict(trace_digests).items()
+        }
     return hashlib.sha256(_canonical(doc).encode("utf-8")).hexdigest()
 
 
@@ -173,6 +186,17 @@ def encode_run_result(result: RunResult) -> Dict[str, object]:
         "telemetry": result.telemetry,
         "metrics_snapshot": result.metrics_snapshot,
     }
+
+
+def result_digest(result: RunResult) -> str:
+    """Content hash of a RunResult's canonical JSON encoding.
+
+    Two runs whose digests match produced bit-identical metrics, thread
+    accounting, and telemetry — the fidelity check the trace-library
+    round-trip tests and the CI smoke job rely on.
+    """
+    doc = encode_run_result(result)
+    return hashlib.sha256(_canonical(doc).encode("utf-8")).hexdigest()
 
 
 def decode_run_result(doc: Dict[str, object]) -> RunResult:

@@ -13,7 +13,16 @@ Subcommands:
   JSONL); ``--from-jsonl`` renders a stored stream without re-simulating.
 * ``metrics``  — run one mix and print the simulator-wide metrics registry
   snapshot in Prometheus text (or JSON) form.
+* ``traces``   — the workload trace library: ``traces import`` parses an
+  external ChampSim/DRAMSim-style dump (or ``.rtrc``), characterizes it
+  alone, and registers it as a first-class app; ``traces list`` / ``info``
+  / ``export`` browse and extract the catalogue. ``traces APP...`` (legacy
+  form) analyzes generated traces.
 * ``config``   — print the simulated system configuration.
+
+Anywhere a mix name is accepted, an ad-hoc ``app1+app2`` spec works too —
+including library-trace names — so an imported real trace can be run
+against synthetic apps without editing the mix table.
 """
 
 from __future__ import annotations
@@ -28,7 +37,7 @@ from .core.integration import APPROACHES
 from .errors import ReproError
 from .experiments import EXPERIMENTS, run_experiment
 from .sim.runner import Runner
-from .workloads import MIXES, get_mix
+from .workloads import MIXES, resolve_mix
 from .workloads.mixes import MAIN_MIXES
 from .workloads.profiles import APP_PROFILES
 
@@ -243,10 +252,60 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     traces_parser = sub.add_parser(
-        "traces", help="analyze generated traces for given apps"
+        "traces",
+        help=(
+            "trace library (import | list | info NAME | export NAME), "
+            "or analyze generated traces: traces APP..."
+        ),
     )
     traces_parser.add_argument(
-        "apps", nargs="+", help="application names, e.g. mcf libquantum"
+        "apps",
+        nargs="+",
+        metavar="ARG",
+        help=(
+            "'import PATH', 'list', 'info NAME', 'export NAME', or "
+            "application names to analyze (e.g. mcf libquantum)"
+        ),
+    )
+    traces_parser.add_argument(
+        "--library",
+        default=None,
+        metavar="DIR",
+        help="trace library directory (default: benchmarks/traces/library)",
+    )
+    traces_parser.add_argument(
+        "--name",
+        default=None,
+        help="import: register under this name (default: file basename)",
+    )
+    traces_parser.add_argument(
+        "--format",
+        dest="trace_format",
+        choices=["auto", "champsim", "dramsim", "rtrc", "text"],
+        default="auto",
+        help="import: input trace format (default: auto-detect)",
+    )
+    traces_parser.add_argument(
+        "--to",
+        default=None,
+        metavar="PATH",
+        help="export: destination file (default: ./<name>.rtrc)",
+    )
+    traces_parser.add_argument(
+        "--export-format",
+        choices=["rtrc", "text"],
+        default="rtrc",
+        help="export: output format (default: rtrc)",
+    )
+    traces_parser.add_argument(
+        "--no-characterize",
+        action="store_true",
+        help="import: skip the alone-run characterization pass",
+    )
+    traces_parser.add_argument(
+        "--override",
+        action="store_true",
+        help="import: replace an existing library/registry entry",
     )
 
     gen_parser = sub.add_parser(
@@ -255,6 +314,13 @@ def _build_parser() -> argparse.ArgumentParser:
     gen_parser.add_argument("apps", nargs="+", help="application names")
     gen_parser.add_argument(
         "--out", default=".", help="output directory (default: cwd)"
+    )
+    gen_parser.add_argument(
+        "--format",
+        dest="trace_format",
+        choices=["text", "rtrc"],
+        default="text",
+        help="output format (default: text; rtrc is the binary library form)",
     )
     return parser
 
@@ -395,7 +461,7 @@ def _print_profile(report: dict) -> None:
 
 
 def _cmd_mix(args: argparse.Namespace, runner: Runner) -> int:
-    mix = get_mix(args.mix)
+    mix = resolve_mix(args.mix)
     print(f"{mix.name}: {' '.join(mix.apps)}  [{mix.category}]")
     header = f"{'approach':<14} {'WS':>7} {'HS':>7} {'MS':>7}  slowdowns"
     print(header)
@@ -448,7 +514,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         return 0
     if args.mix is None:
         raise ConfigError("trace needs a mix name (or --from-jsonl PATH)")
-    mix = get_mix(args.mix)
+    mix = resolve_mix(args.mix)
     runner = Runner(
         horizon=args.horizon,
         seed=args.seed,
@@ -500,7 +566,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from .metrics.registry import prometheus_text
 
-    mix = get_mix(args.mix)
+    mix = resolve_mix(args.mix)
     runner = Runner(horizon=args.horizon, seed=args.seed)
     result = runner.run_mix(mix, args.approach)
     snapshot = result.metrics_snapshot or {"metrics": []}
@@ -511,25 +577,137 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+#: First positional tokens that select a trace-library verb rather than
+#: the legacy "analyze these apps" form.
+_LIBRARY_VERBS = ("import", "list", "info", "export")
+
+
 def _cmd_traces(args: argparse.Namespace, runner: Runner) -> int:
     from .workloads import analyze_trace
 
+    if args.apps[0] in _LIBRARY_VERBS:
+        return _cmd_trace_library(args.apps[0], args.apps[1:], args, runner)
     for app in args.apps:
         print(analyze_trace(runner.trace_for(app)).render())
         print()
     return 0
 
 
+def _cmd_trace_library(
+    verb: str,
+    operands: List[str],
+    args: argparse.Namespace,
+    runner: Runner,
+) -> int:
+    from .errors import ConfigError
+    from .traces import TraceLibrary
+
+    library = TraceLibrary(args.library)
+    if verb == "import":
+        if len(operands) != 1:
+            raise ConfigError("usage: traces import PATH [--name N ...]")
+        entry = library.import_file(
+            operands[0],
+            name=args.name,
+            fmt=args.trace_format,
+            characterize=not args.no_characterize,
+            config=runner.config,
+            horizon=args.horizon,
+            override=args.override,
+        )
+        kind = "intensive" if entry.intensive else "light"
+        print(
+            f"imported {entry.name!r} from {operands[0]} "
+            f"({entry.source_format}, {entry.records} records, "
+            f"{entry.total_insts} insts, class {kind})"
+        )
+        print(f"  library: {library.root}")
+        print(f"  digest:  {entry.digest}")
+        if entry.characterization:
+            c = entry.characterization
+            print(
+                f"  measured: mpki={c.get('mpki', 0.0):.2f} "
+                f"rbh={c.get('rbh', 0.0):.3f} blp={c.get('blp', 0.0):.2f} "
+                f"ipc_alone={c.get('ipc_alone', 0.0):.3f}"
+            )
+        print(f"usable in mixes now, e.g.: repro-dbp mix {entry.name}+lbm")
+        return 0
+    if verb == "list":
+        entries = library.entries()
+        if not entries:
+            print(f"trace library {library.root} is empty")
+            return 0
+        print(f"trace library {library.root}:")
+        header = (
+            f"  {'name':<20} {'class':<9} {'records':>9} "
+            f"{'insts':>11} {'mpki':>7}  digest"
+        )
+        print(header)
+        print("  " + "-" * (len(header) - 2))
+        for name in library.names():
+            entry = entries[name]
+            char = entry.get("characterization") or {}
+            mpki = char.get("mpki")
+            mpki_text = f"{mpki:>7.2f}" if mpki is not None else f"{'-':>7}"
+            print(
+                f"  {name:<20} {str(entry.get('class', '?')):<9} "
+                f"{int(entry.get('records', 0)):>9} "
+                f"{int(entry.get('total_insts', 0)):>11} "
+                f"{mpki_text}  {str(entry['digest'])[:16]}…"
+            )
+        return 0
+    if verb == "info":
+        if len(operands) != 1:
+            raise ConfigError("usage: traces info NAME")
+        name = operands[0]
+        entry = library.entry(name)
+        print(f"{name}  ({library.path_for(name)})")
+        print(f"  digest:        {entry['digest']}")
+        print(f"  records:       {entry.get('records', 0)}")
+        print(f"  total insts:   {entry.get('total_insts', 0)}")
+        print(f"  source format: {entry.get('source_format', '?')}")
+        print(f"  imported from: {entry.get('imported_from', '') or '-'}")
+        print(f"  class:         {entry.get('class', '?')}")
+        char = entry.get("characterization") or {}
+        if char:
+            print("  characterization (alone run):")
+            for key in sorted(char):
+                print(f"    {key:<16} {char[key]}")
+        return 0
+    if verb == "export":
+        if len(operands) != 1:
+            raise ConfigError("usage: traces export NAME [--to PATH]")
+        name = operands[0]
+        suffix = "rtrc" if args.export_format == "rtrc" else "trace"
+        dest = args.to if args.to else f"{name}.{suffix}"
+        library.export(name, dest, fmt=args.export_format)
+        print(f"wrote {dest} ({args.export_format})")
+        return 0
+    raise ConfigError(f"unknown traces verb {verb!r}")  # pragma: no cover
+
+
 def _cmd_gen_traces(args: argparse.Namespace, runner: Runner) -> int:
     import os
 
     from .cpu.trace import save_trace
+    from .traces import save_rtrc
 
     os.makedirs(args.out, exist_ok=True)
     for app in args.apps:
         trace = runner.trace_for(app)
-        path = os.path.join(args.out, f"{app}.trace")
-        save_trace(trace, path)
+        if args.trace_format == "rtrc":
+            path = os.path.join(args.out, f"{app}.rtrc")
+            save_rtrc(
+                trace,
+                path,
+                provenance={
+                    "imported_from": f"synthetic:{app} seed={runner.seed}",
+                    "source_format": "synthetic",
+                },
+            )
+        else:
+            path = os.path.join(args.out, f"{app}.trace")
+            save_trace(trace, path)
         print(f"wrote {path} ({len(trace)} records)")
     return 0
 

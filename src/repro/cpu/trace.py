@@ -9,7 +9,8 @@ multiprogrammed runs.
 
 from __future__ import annotations
 
-from typing import Iterable, List, NamedTuple, Sequence
+import hashlib
+from typing import Iterable, List, NamedTuple, Optional, Sequence
 
 from ..errors import TraceError
 
@@ -48,6 +49,8 @@ class Trace:
             self.cumulative_insts.append(total)
         self.total_insts = total
         self.total_requests = len(self.records)
+        self._footprint_lines: Optional[int] = None
+        self._digest: Optional[str] = None
 
     def __len__(self) -> int:
         return len(self.records)
@@ -66,8 +69,31 @@ class Trace:
         return 1000.0 * self.total_requests / self.total_insts
 
     def footprint_lines(self) -> int:
-        """Number of distinct virtual lines the trace touches."""
-        return len({record.vline for record in self.records})
+        """Number of distinct virtual lines the trace touches (cached)."""
+        if self._footprint_lines is None:
+            self._footprint_lines = len(
+                {record.vline for record in self.records}
+            )
+        return self._footprint_lines
+
+    @property
+    def digest(self) -> str:
+        """Stable SHA-256 content hash of the record stream (cached).
+
+        Hashes records only — not the name — so a renamed copy of the same
+        access stream is recognized as the same workload. This is the one
+        digest definition shared by the trace library's ``.rtrc`` files and
+        the campaign store's run keys.
+        """
+        if self._digest is None:
+            hasher = hashlib.sha256()
+            for record in self.records:
+                hasher.update(
+                    b"%d %d %d\n"
+                    % (record.gap, record.vline, int(record.is_write))
+                )
+            self._digest = hasher.hexdigest()
+        return self._digest
 
 
 def save_trace(trace: Trace, path: str) -> None:

@@ -22,7 +22,8 @@ from ..cpu.trace import Trace
 from ..errors import ExperimentError
 from ..metrics import MetricSummary, slowdowns, summarize
 from ..telemetry import TelemetryConfig, TelemetryRecorder
-from ..workloads import Mix, generate_trace, get_profile
+from ..traces.source import DefaultTraceSource, TraceSource
+from ..workloads import Mix
 from .system import System, SystemResult
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle
@@ -88,6 +89,7 @@ class Runner:
         jobs: int = 1,
         telemetry: Optional[TelemetryConfig] = None,
         profile: bool = False,
+        trace_source: Optional[TraceSource] = None,
     ) -> None:
         self.config = config if config is not None else SystemConfig()
         if horizon <= 0:
@@ -116,29 +118,55 @@ class Runner:
         #: :attr:`last_profile` and on ``RunResult.profile``.
         self.profile = profile
         self.last_profile: Optional[Dict[str, object]] = None
+        #: Where app names resolve to traces: the default source serves
+        #: synthetic profiles and registered library traces alike (see
+        #: :mod:`repro.traces.source`).
+        self.trace_source: TraceSource = (
+            trace_source if trace_source is not None else DefaultTraceSource()
+        )
         self._trace_cache: Dict[tuple, Trace] = {}
         self._alone_cache: Dict[tuple, float] = {}
         self._run_cache: Dict[tuple, RunResult] = {}
 
     # ------------------------------------------------------------------
-    def trace_for(self, app: str) -> Trace:
-        """The (cached) synthetic trace for one application.
+    def _source_key(self, app: str) -> tuple:
+        """The trace source's identity key for ``app`` under this scope.
 
-        Keyed by (app, seed, target_insts) — the full generator input — so
-        mutating the Runner's fields can never serve a stale trace.
+        For synthetic apps this is (app, seed, target_insts) — the full
+        generator input — so mutating the Runner's fields can never serve
+        a stale trace; for library traces it is (app, content digest).
         """
-        key = (app, self.seed, self.target_insts)
+        return self.trace_source.cache_key(
+            app, self.seed, self.target_insts
+        )
+
+    def trace_for(self, app: str) -> Trace:
+        """The (cached) trace for one application — synthetic or library."""
+        key = self._source_key(app)
         trace = self._trace_cache.get(key)
         if trace is None:
-            trace = generate_trace(
-                get_profile(app), seed=self.seed, target_insts=self.target_insts
+            trace = self.trace_source.trace_for(
+                app, self.seed, self.target_insts
             )
             self._trace_cache[key] = trace
         return trace
 
+    def library_digests(self, apps: Sequence[str]) -> Dict[str, str]:
+        """{app: digest} for the library-resolved apps among ``apps``.
+
+        Empty for all-synthetic runs, which keeps their store keys (and
+        therefore every previously-persisted result) unchanged.
+        """
+        digests: Dict[str, str] = {}
+        for app in apps:
+            digest = self.trace_source.digest_for(app)
+            if digest is not None:
+                digests[app] = digest
+        return digests
+
     def alone_ipc(self, app: str) -> float:
         """IPC of ``app`` running alone on the full machine (cached)."""
-        key = (app, self.seed, self.target_insts)
+        key = self._source_key(app)
         ipc = self._alone_cache.get(key)
         if ipc is None:
             config = replace(self.config, num_cores=1)
@@ -163,7 +191,9 @@ class Runner:
 
         Includes the policy and scheduler names and parameters the approach
         label resolves to, so two registrations sharing a label can never
-        collide — in this cache or in the persistent store's hash.
+        collide — in this cache or in the persistent store's hash. Library
+        traces contribute their content digests, so re-registering a name
+        with different records can never serve a stale run either.
         """
         spec = get_approach(approach)
         return (
@@ -173,6 +203,7 @@ class Runner:
             tuple(sorted(spec.policy_params.items())),
             spec.scheduler,
             tuple(sorted(spec.scheduler_params.items())),
+            tuple(sorted(self.library_digests(apps).items())),
         )
 
     def cached_run(
@@ -204,6 +235,7 @@ class Runner:
             target_insts=self.target_insts,
             ahead_limit=self.ahead_limit,
             validate=self.validate,
+            trace_digests=self.library_digests(apps),
         )
 
     def run_apps(
@@ -231,8 +263,10 @@ class Runner:
                 result, _wall = hit
                 self._run_cache[cache_key] = result
                 # A cached run was not simulated here: any recorder on
-                # last_telemetry belongs to an earlier run, not this one.
+                # last_telemetry — and any wall-clock profile on
+                # last_profile — belongs to an earlier run, not this one.
                 self.last_telemetry = None
+                self.last_profile = None
                 return result
         started = time.perf_counter()
         spec = get_approach(approach)

@@ -15,6 +15,12 @@ from typing import Dict, List, Sequence
 from ..cpu.trace import Trace
 from ..workloads.synthetic import LINES_PER_PAGE
 
+#: The paper family's convention: an app with MPKI >= 1 is memory-intensive
+#: and worth dedicated banks. The same threshold drives
+#: :attr:`~repro.workloads.profiles.AppProfile.intensive`, DBP's demand
+#: estimator default, and the trace library's characterization pass.
+INTENSIVE_MPKI_THRESHOLD = 1.0
+
 
 def _percentile(sorted_values: Sequence[int], fraction: float) -> float:
     """Nearest-rank percentile of an already-sorted sequence."""
@@ -43,6 +49,11 @@ class TraceAnalysis:
     mean_run_length: float  # consecutive vline+1 chains
     mean_burst_size: float  # consecutive records with gap <= 2
     max_burst_size: int
+
+    @property
+    def intensive(self) -> bool:
+        """Memory-intensive by intrinsic MPKI (pre-cache upper bound)."""
+        return self.intrinsic_mpki >= INTENSIVE_MPKI_THRESHOLD
 
     def render(self) -> str:
         rows = [

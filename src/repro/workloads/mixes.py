@@ -13,12 +13,16 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from ..errors import ConfigError
-from .profiles import get_profile
+from .profiles import app_intensive, validate_app
 
 
 @dataclass(frozen=True)
 class Mix:
-    """One multiprogrammed workload."""
+    """One multiprogrammed workload.
+
+    Apps may be synthetic profile names or library-registered trace names
+    — both validate eagerly and both count toward intensity.
+    """
 
     name: str
     apps: Tuple[str, ...]
@@ -26,7 +30,7 @@ class Mix:
 
     def __post_init__(self) -> None:
         for app in self.apps:
-            get_profile(app)  # validate names eagerly
+            validate_app(app)  # validate names eagerly
 
     @property
     def num_cores(self) -> int:
@@ -34,7 +38,7 @@ class Mix:
 
     def intensive_count(self) -> int:
         """Apps with MPKI >= 1 (memory-intensive by convention)."""
-        return sum(1 for app in self.apps if get_profile(app).intensive)
+        return sum(1 for app in self.apps if app_intensive(app))
 
 
 MIXES: Dict[str, Mix] = {
@@ -112,6 +116,26 @@ def get_mix(name: str) -> Mix:
     except KeyError:
         known = ", ".join(sorted(MIXES))
         raise ConfigError(f"unknown mix {name!r}; known: {known}") from None
+
+
+def adhoc_mix(spec: str) -> Mix:
+    """Build an unnamed mix from ``app1+app2+...`` (library apps welcome).
+
+    The CLI accepts this anywhere a mix name goes, which is how an
+    imported library trace gets run against synthetic apps without
+    editing the registered mix table.
+    """
+    apps = tuple(app for app in spec.split("+") if app)
+    if len(apps) < 1:
+        raise ConfigError(f"ad-hoc mix spec {spec!r} names no apps")
+    return Mix(spec, apps, "adhoc")
+
+
+def resolve_mix(name: str) -> Mix:
+    """A registered mix by name, or an ``app1+app2`` ad-hoc mix."""
+    if "+" in name:
+        return adhoc_mix(name)
+    return get_mix(name)
 
 
 def mixes_for_cores(num_cores: int) -> List[Mix]:

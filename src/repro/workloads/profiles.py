@@ -128,12 +128,52 @@ APP_PROFILES: Dict[str, AppProfile] = dict(
 
 
 def get_profile(name: str) -> AppProfile:
-    """Look up an application profile by name."""
+    """Look up a *synthetic* application profile by name.
+
+    Library-registered traces are apps too, but have no generator profile;
+    resolve those through :func:`validate_app` / :func:`app_intensive` or
+    the Runner's trace source.
+    """
     try:
         return APP_PROFILES[name]
     except KeyError:
         known = ", ".join(sorted(APP_PROFILES))
         raise ConfigError(f"unknown app {name!r}; known: {known}") from None
+
+
+def validate_app(name: str) -> None:
+    """Check that ``name`` is a known app — synthetic or library trace."""
+    from ..traces.registry import lookup_registered, registered_names
+
+    if name in APP_PROFILES or lookup_registered(name) is not None:
+        return
+    known = ", ".join(sorted(APP_PROFILES))
+    library = ", ".join(registered_names())
+    message = f"unknown app {name!r}; synthetic apps: {known}"
+    if library:
+        message += f"; library traces: {library}"
+    raise ConfigError(message)
+
+
+def app_intensive(name: str) -> bool:
+    """Memory-intensive classification for any app — synthetic or library.
+
+    Synthetic apps use the profile's target MPKI; library traces use the
+    measured (or intrinsic) classification stored at registration. The
+    registry wins on deliberate shadowing, mirroring trace resolution.
+    """
+    from ..traces.registry import lookup_registered
+
+    entry = lookup_registered(name, autoload=False)
+    if entry is not None:
+        return entry.intensive
+    if name in APP_PROFILES:
+        return APP_PROFILES[name].intensive
+    entry = lookup_registered(name)
+    if entry is not None:
+        return entry.intensive
+    validate_app(name)  # raises with the full known-apps message
+    raise ConfigError(f"unknown app {name!r}")  # pragma: no cover
 
 
 def profiles_by_intensity() -> Tuple[List[AppProfile], List[AppProfile]]:
