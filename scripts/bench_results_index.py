@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Benchmark the result index: sync and query throughput.
+
+Builds a synthetic blob store (default 1000 entries — a realistic large
+campaign: mixes x approaches x seeds), then measures:
+
+* **cold sync** — first ``ResultIndex.sync`` over the blobs (JSON decode
+  + upsert per entry);
+* **warm re-sync** — the incremental no-change pass (one stat per entry,
+  zero reads — this is what every campaign startup pays);
+* **queries** — filtered ``rows()`` lookups, the ``pair_deltas`` view,
+  and a full ``evaluate_gates`` pass over the built-in C1-C3 gates.
+
+Writes the measurements as JSON (see ``benchmarks/BENCH_results_index.json``
+for the committed baseline) so regressions in index or view performance
+show up as a diff, not a feeling.
+
+Run:  PYTHONPATH=src python scripts/bench_results_index.py \
+          --workdir /tmp/bench --out benchmarks/BENCH_results_index.json
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"),
+)
+
+from repro.campaign.store import STORE_VERSION, ResultStore  # noqa: E402
+from repro.results import (  # noqa: E402
+    ResultIndex,
+    evaluate_gates,
+    index_path_for,
+    pair_deltas,
+)
+
+APPROACHES = ("ebp", "dbp", "tcm", "dbp-tcm", "mcp")
+
+
+def synth_doc(n: int, mix: str, approach: str, seed: int):
+    """One store entry document, deterministically varied by (n, approach)."""
+    key = f"{n:064x}"
+    # Metric shapes roughly matching real campaigns; dbp/dbp-tcm win so
+    # the gate-evaluation benchmark exercises the pass paths.
+    ws = 3.0 + (n % 17) * 0.01
+    ms = 1.5 - (n % 13) * 0.01
+    if approach in ("dbp", "dbp-tcm"):
+        ws *= 1.05
+        ms *= 0.88
+    apps = ["lbm", "mcf", "gcc", "povray"]
+    return {
+        "version": STORE_VERSION,
+        "key": key,
+        "spec": {
+            "mix": mix,
+            "apps": apps,
+            "approach": approach,
+            "seed": seed,
+            "horizon": 300_000,
+            "target_insts": 2_000_000,
+        },
+        "wall_clock": 10.0,
+        "result": {
+            "metrics": {
+                "mix": mix,
+                "approach": approach,
+                "apps": apps,
+                "summary": {
+                    "weighted_speedup": ws,
+                    "harmonic_speedup": ws / 4.0,
+                    "max_slowdown": ms,
+                },
+                "slowdowns": {str(t): 1.0 + t * 0.1 for t in range(4)},
+            },
+            "system": {},
+            "alone_ipcs": {str(t): 1.0 for t in range(4)},
+            "shared_ipcs": {str(t): 0.8 for t in range(4)},
+        },
+    }
+
+
+def build_store(root: str, entries: int) -> int:
+    n = 0
+    while n < entries:
+        mix = f"MIX{(n // len(APPROACHES)) % 40}"
+        approach = APPROACHES[n % len(APPROACHES)]
+        seed = 1 + (n // (len(APPROACHES) * 40))
+        doc = synth_doc(n, mix, approach, seed)
+        path = os.path.join(root, doc["key"][:2], doc["key"] + ".json")
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump(doc, handle, sort_keys=True, indent=1)
+        n += 1
+    return n
+
+
+def timed(fn, repeat: int = 1):
+    best = float("inf")
+    value = None
+    for _ in range(repeat):
+        started = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - started)
+    return value, best
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workdir", required=True)
+    parser.add_argument("--entries", type=int, default=1000)
+    parser.add_argument("--query-repeat", type=int, default=5)
+    parser.add_argument("--out", default=None, help="write JSON report here")
+    args = parser.parse_args()
+
+    root = os.path.join(args.workdir, "store")
+    _, build_secs = timed(lambda: build_store(root, args.entries))
+    store = ResultStore(root, index=False)
+    db_path = index_path_for(root)
+
+    index = ResultIndex(db_path)
+    cold_report, cold_secs = timed(lambda: index.sync(store))
+    assert cold_report.added == args.entries, cold_report.as_dict()
+    warm_report, warm_secs = timed(lambda: index.sync(store))
+    assert warm_report.unchanged == args.entries, warm_report.as_dict()
+
+    rows, rows_secs = timed(
+        lambda: index.rows(mix="MIX7", approach="dbp"),
+        repeat=args.query_repeat,
+    )
+    deltas, deltas_secs = timed(
+        lambda: pair_deltas(index, "dbp", "ebp"), repeat=args.query_repeat
+    )
+    gates, gates_secs = timed(
+        lambda: evaluate_gates(index), repeat=args.query_repeat
+    )
+    index_bytes = os.path.getsize(db_path)
+    index.close()
+
+    report = {
+        "benchmark": "results_index",
+        "entries": args.entries,
+        "python": platform.python_version(),
+        "store_version": STORE_VERSION,
+        "index_bytes": index_bytes,
+        "cold_sync": {
+            "seconds": round(cold_secs, 4),
+            "entries_per_sec": round(args.entries / cold_secs, 1),
+        },
+        "warm_resync": {
+            "seconds": round(warm_secs, 4),
+            "entries_per_sec": round(args.entries / warm_secs, 1),
+        },
+        "queries": {
+            "filtered_rows": {
+                "seconds": round(rows_secs, 5),
+                "rows": len(rows),
+            },
+            "pair_deltas": {
+                "seconds": round(deltas_secs, 5),
+                "matched_cells": deltas.matched,
+            },
+            "evaluate_gates": {
+                "seconds": round(gates_secs, 5),
+                "checks": len(gates.checks),
+                "passed": gates.ok(),
+            },
+        },
+        "blob_build_seconds": round(build_secs, 4),
+    }
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

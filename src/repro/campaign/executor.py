@@ -177,6 +177,8 @@ def _describe(spec: RunSpec, result: Optional[RunResult] = None) -> Dict[str, ob
         "horizon": spec.horizon,
         "target_insts": spec.target_insts,
     }
+    if spec.trace_digests:
+        doc["trace_digests"] = dict(spec.trace_digests)
     if result is not None and result.telemetry is not None:
         doc["telemetry"] = result.telemetry
     return doc

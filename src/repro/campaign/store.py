@@ -15,10 +15,20 @@ Properties the executor and the benches rely on:
   directory and ``os.replace``d into place, so a killed worker can never
   leave a half-written entry behind.
 * **Corruption quarantine** — an entry that fails to decode is renamed to
-  ``<entry>.corrupt`` (kept for post-mortem) and treated as a miss.
-* **Accounting** — hits, misses, writes, quarantined entries, and the
-  simulated wall-clock a hit avoided re-paying are all counted on the
-  store instance, for campaign reports and bench session summaries.
+  ``<entry>.corrupt`` (kept for post-mortem) and treated as a miss. An
+  entry that decodes but carries a *different* ``STORE_VERSION`` is merely
+  stale, not malformed: it is skipped (and counted separately) but left in
+  place, since a recompute overwrites the same path anyway.
+* **Accounting** — hits, misses, writes, stale skips, quarantined
+  entries, and the simulated wall-clock a hit avoided re-paying are all
+  counted on the store instance, for campaign reports and bench session
+  summaries.
+* **Index hook** — unless constructed with ``index=False``, every ``put``
+  also upserts one row into the SQLite index maintained beside the blobs
+  (``<root>/index.sqlite``, see :mod:`repro.results.db`), so the queryable
+  view of a shared store stays fresh without a separate sync pass. Index
+  trouble never fails a put: the blobs are the source of truth and the
+  index can always be rebuilt with ``repro-dbp results index``.
 
 ``STORE_VERSION`` is the code-version salt in every key: bump it whenever a
 change alters simulation results so stale entries can never be served.
@@ -30,9 +40,10 @@ import dataclasses
 import hashlib
 import json
 import os
+import sqlite3
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..config import SystemConfig
 from ..core.integration import get_approach
@@ -253,6 +264,12 @@ class StoreStats:
     misses: int = 0
     writes: int = 0
     corrupt: int = 0
+    #: Readable entries skipped because they carry another STORE_VERSION.
+    #: Distinct from ``corrupt``: stale entries are well-formed and stay
+    #: on disk; malformed ones are quarantined.
+    stale: int = 0
+    #: Put-time index upserts that failed (the blob still persisted).
+    index_errors: int = 0
     #: Simulated-run wall-clock seconds that hits avoided re-paying.
     wall_saved: float = 0.0
 
@@ -262,20 +279,35 @@ class StoreStats:
             "misses": self.misses,
             "writes": self.writes,
             "corrupt": self.corrupt,
+            "stale": self.stale,
+            "index_errors": self.index_errors,
             "wall_saved": round(self.wall_saved, 3),
         }
 
 
 class ResultStore:
-    """Content-addressed run results on disk (safe for concurrent writers)."""
+    """Content-addressed run results on disk (safe for concurrent writers).
 
-    def __init__(self, root) -> None:
+    With ``index`` (the default) every put also upserts into the SQLite
+    index colocated with the blobs; pass ``index=False`` for a read-only
+    or index-free handle (e.g. when a sync pass owns the index).
+    """
+
+    def __init__(self, root, index: bool = True) -> None:
         self.root = Path(root)
         self.stats = StoreStats()
+        self.index_enabled = index
+        self._index = None
 
     def path_for(self, key: str) -> Path:
         """Entry path; two-character sharding keeps directories small."""
         return self.root / key[:2] / f"{key}.json"
+
+    def index_path(self) -> Path:
+        """Where this store's SQLite index lives (whether or not it exists)."""
+        from ..results.db import index_path_for
+
+        return index_path_for(self.root)
 
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).is_file()
@@ -284,8 +316,11 @@ class ResultStore:
     def get(self, key: str) -> Optional[Tuple[RunResult, float]]:
         """The stored (result, original wall-clock) for ``key``, or None.
 
-        Counts a hit or miss; a malformed entry is quarantined to
-        ``<entry>.corrupt`` and counted as both corrupt and a miss.
+        Counts a hit or miss. A malformed entry (undecodable JSON, wrong
+        key, broken result document) is quarantined to ``<entry>.corrupt``
+        and counted as corrupt; a well-formed entry written by a different
+        ``STORE_VERSION`` is merely counted stale and left in place — the
+        recompute will overwrite the same path.
         """
         path = self.path_for(key)
         try:
@@ -295,8 +330,13 @@ class ResultStore:
             return None
         try:
             doc = json.loads(text)
-            if doc.get("version") != STORE_VERSION or doc.get("key") != key:
-                raise ValueError("version or key mismatch")
+            if doc.get("key") != key:
+                raise ValueError("entry key does not match its path")
+            version = doc.get("version")
+            if version != STORE_VERSION:
+                self.stats.stale += 1
+                self.stats.misses += 1
+                return None
             result = decode_run_result(doc["result"])
             wall_clock = float(doc.get("wall_clock", 0.0))
         except (ValueError, KeyError, TypeError):
@@ -329,7 +369,110 @@ class ResultStore:
         tmp.write_text(json.dumps(doc, sort_keys=True, indent=1) + "\n")
         os.replace(tmp, path)
         self.stats.writes += 1
+        self._index_put(doc, path)
         return path
+
+    def _index_put(self, doc: Dict[str, object], path: Path) -> None:
+        """Upsert the put into the colocated index; never fail the put."""
+        if not self.index_enabled:
+            return
+        try:
+            if self._index is None:
+                from ..results.db import ResultIndex
+
+                self._index = ResultIndex(self.index_path())
+            self._index.upsert_doc(
+                doc, mtime=path.stat().st_mtime, source="put"
+            )
+        except (OSError, sqlite3.Error, ValueError, KeyError, TypeError):
+            # A broken/contended index must not lose a finished simulation;
+            # `results index` rebuilds the rows from the blob later.
+            self.stats.index_errors += 1
+
+    # ------------------------------------------------------------------
+    # Entry iteration (the index's sync feed and the store CLI).
+    # ------------------------------------------------------------------
+    def iter_blobs(self) -> Iterator[Tuple[str, Path]]:
+        """Every entry on disk as (key, path), without decoding."""
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("*/*.json")):
+            yield path.stem, path
+
+    def load_doc(self, path) -> Dict[str, object]:
+        """The full JSON document of one entry.
+
+        Raises ``OSError`` on unreadable files and ``ValueError`` on
+        undecodable JSON; never quarantines (reading is not serving).
+        """
+        doc = json.loads(Path(path).read_text())
+        if not isinstance(doc, dict):
+            raise ValueError(f"store entry {path} is not a JSON object")
+        return doc
+
+    def quarantined_paths(self) -> List[Path]:
+        """Every ``.corrupt``-quarantined entry on disk."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.corrupt"))
+
+    def orphaned_tmp_paths(self) -> List[Path]:
+        """Leftover ``.tmp.<pid>`` files from writers that died mid-put."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.json.tmp.*"))
+
+    def stale_paths(self) -> List[Path]:
+        """Entries whose document version differs from STORE_VERSION.
+
+        Reads every blob — O(store); meant for ``store gc --stale``, not
+        hot paths. Malformed entries are not reported here (they are
+        ``gc``'s quarantine listing's business once ``get`` renames them).
+        """
+        out: List[Path] = []
+        for _key, path in self.iter_blobs():
+            try:
+                doc = self.load_doc(path)
+            except (OSError, ValueError):
+                continue
+            if doc.get("version") != STORE_VERSION:
+                out.append(path)
+        return out
+
+    def disk_stats(self) -> Dict[str, object]:
+        """Disk-level accounting: entry/quarantine/tmp counts and bytes."""
+        entries = quarantined = tmp = 0
+        entry_bytes = quarantined_bytes = 0
+        for _key, path in self.iter_blobs():
+            entries += 1
+            entry_bytes += _size_of(path)
+        for path in self.quarantined_paths():
+            quarantined += 1
+            quarantined_bytes += _size_of(path)
+        tmp = len(self.orphaned_tmp_paths())
+        index_path = self.index_path()
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "entry_bytes": entry_bytes,
+            "quarantined": quarantined,
+            "quarantined_bytes": quarantined_bytes,
+            "tmp_files": tmp,
+            "index_exists": index_path.is_file(),
+            "index_bytes": _size_of(index_path),
+        }
+
+    def purge_quarantined(self) -> Tuple[int, int]:
+        """Delete every quarantined entry; returns (files, bytes freed)."""
+        return _unlink_all(self.quarantined_paths())
+
+    def purge_orphaned_tmp(self) -> Tuple[int, int]:
+        """Delete leftover temp files; returns (files, bytes freed)."""
+        return _unlink_all(self.orphaned_tmp_paths())
+
+    def purge_stale(self) -> Tuple[int, int]:
+        """Delete other-version entries; returns (files, bytes freed)."""
+        return _unlink_all(self.stale_paths())
 
     # ------------------------------------------------------------------
     def _quarantine(self, path: Path) -> None:
@@ -343,3 +486,23 @@ class ResultStore:
         if not self.root.is_dir():
             return 0
         return sum(1 for _ in self.root.glob("*/*.json"))
+
+
+def _size_of(path: Path) -> int:
+    try:
+        return path.stat().st_size
+    except OSError:  # pragma: no cover - raced with a concurrent gc
+        return 0
+
+
+def _unlink_all(paths: Sequence[Path]) -> Tuple[int, int]:
+    count = freed = 0
+    for path in paths:
+        size = _size_of(path)
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - raced or read-only store
+            continue
+        count += 1
+        freed += size
+    return count, freed

@@ -6,7 +6,18 @@ Subcommands:
 * ``run``      — run one experiment by id and print its table; ``--jobs``
   fans its sweeps out over worker processes.
 * ``campaign`` — run a (mix x approach x seed) grid in parallel, backed by
-  the persistent result store (re-runs are served from disk).
+  the persistent result store (re-runs are served from disk); ``--gates``
+  evaluates the paper-claim acceptance gates over the finished grid and
+  sets the exit code.
+* ``results``  — the result service over the store: ``results index``
+  syncs the SQLite index from the blobs, ``results query`` filters runs
+  and derived views (rollups, pair deltas, intensity breakdowns),
+  ``results compare`` A/B-diffs two campaigns or store snapshots, and
+  ``results gates`` evaluates the C1-C3 acceptance gates (or a custom
+  JSON gates file) with a machine-readable report.
+* ``store``    — blob-store maintenance: ``store stats`` (entries, bytes,
+  quarantine and index state), ``store ls`` (entries or quarantined
+  files), ``store gc`` (prune quarantined/tmp/stale files).
 * ``mix``      — run a single mix under one or more approaches.
 * ``trace``    — run one mix with per-epoch telemetry and print the epoch
   timeline and the policy's decisions table (optionally export or stream
@@ -160,6 +171,209 @@ def _build_parser() -> argparse.ArgumentParser:
         "--telemetry",
         action="store_true",
         help="record per-epoch telemetry and attach summaries to the store",
+    )
+    campaign_parser.add_argument(
+        "--gates",
+        action="store_true",
+        help=(
+            "evaluate the paper-claim acceptance gates (C1-C3) over the "
+            "finished campaign; a failed gate fails the command"
+        ),
+    )
+    campaign_parser.add_argument(
+        "--gates-claims",
+        nargs="*",
+        default=None,
+        metavar="CLAIM",
+        help="restrict --gates to these claim ids (e.g. C1)",
+    )
+
+    results_parser = sub.add_parser(
+        "results",
+        help="result service: index | query | compare | gates",
+    )
+    results_sub = results_parser.add_subparsers(
+        dest="results_verb", required=True
+    )
+
+    def _add_index_source(p, with_db: bool = True) -> None:
+        p.add_argument(
+            "--store",
+            default=None,
+            metavar="DIR",
+            help="store directory (default: benchmarks/results/store)",
+        )
+        if with_db:
+            p.add_argument(
+                "--db",
+                default=None,
+                metavar="PATH",
+                help=(
+                    "SQLite index file (default: index.sqlite inside the "
+                    "store directory)"
+                ),
+            )
+
+    rindex = results_sub.add_parser(
+        "index", help="sync the SQLite index from the blob store"
+    )
+    _add_index_source(rindex)
+    rindex.add_argument(
+        "--no-prune",
+        action="store_true",
+        help="keep index rows whose blob entry disappeared",
+    )
+
+    rquery = results_sub.add_parser(
+        "query", help="query indexed runs and derived views"
+    )
+    _add_index_source(rquery)
+    rquery.add_argument(
+        "--view",
+        choices=["runs", "rollup", "deltas", "intensity"],
+        default="runs",
+        help="what to show (default: runs)",
+    )
+    rquery.add_argument(
+        "--pair",
+        nargs=2,
+        default=None,
+        metavar=("BETTER", "BASELINE"),
+        help="approach pair for --view deltas (e.g. dbp ebp)",
+    )
+    rquery.add_argument("--mix", default=None, help="filter: mix name")
+    rquery.add_argument(
+        "--approach", default=None, help="filter: approach name"
+    )
+    rquery.add_argument(
+        "--run-seed", type=int, default=None, help="filter: workload seed"
+    )
+    rquery.add_argument(
+        "--run-horizon", type=int, default=None, help="filter: horizon"
+    )
+    rquery.add_argument(
+        "--all-versions",
+        action="store_true",
+        help="include rows from other STORE_VERSIONs",
+    )
+    rquery.add_argument(
+        "--format",
+        choices=["table", "json"],
+        default="table",
+        help="output format (default: table)",
+    )
+
+    rcompare = results_sub.add_parser(
+        "compare",
+        help="A/B diff two campaigns (index files or store directories)",
+    )
+    rcompare.add_argument(
+        "side_a", metavar="A", help="index.sqlite file or store directory"
+    )
+    rcompare.add_argument(
+        "side_b", metavar="B", help="index.sqlite file or store directory"
+    )
+    rcompare.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        metavar="PCT",
+        help="metric-delta tolerance in percent (default 0.5)",
+    )
+    rcompare.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit non-zero when any run regressed beyond tolerance",
+    )
+    rcompare.add_argument(
+        "--format",
+        choices=["table", "json"],
+        default="table",
+        help="output format (default: table)",
+    )
+
+    rgates = results_sub.add_parser(
+        "gates", help="evaluate paper-claim acceptance gates"
+    )
+    _add_index_source(rgates)
+    rgates.add_argument(
+        "--claims",
+        nargs="*",
+        default=None,
+        metavar="CLAIM",
+        help="restrict to these claim ids (e.g. C1 C3; default: all)",
+    )
+    rgates.add_argument(
+        "--gates-file",
+        default=None,
+        metavar="JSON",
+        help="evaluate gates from a JSON file instead of the built-ins",
+    )
+    rgates.add_argument(
+        "--run-seed", type=int, default=None, help="scope: workload seed"
+    )
+    rgates.add_argument(
+        "--run-horizon", type=int, default=None, help="scope: horizon"
+    )
+    rgates.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat skipped gates (missing runs) as failures",
+    )
+    rgates.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also write the machine-readable JSON report to PATH",
+    )
+    rgates.add_argument(
+        "--format",
+        choices=["table", "json"],
+        default="table",
+        help="output format (default: table)",
+    )
+
+    store_parser = sub.add_parser(
+        "store", help="blob-store maintenance: stats | ls | gc"
+    )
+    store_sub = store_parser.add_subparsers(dest="store_verb", required=True)
+    sstats = store_sub.add_parser(
+        "stats", help="entry/quarantine/index accounting for a store"
+    )
+    _add_index_source(sstats, with_db=False)
+    sstats.add_argument(
+        "--format",
+        choices=["table", "json"],
+        default="table",
+        help="output format (default: table)",
+    )
+    sls = store_sub.add_parser("ls", help="list store entries")
+    _add_index_source(sls, with_db=False)
+    sls.add_argument(
+        "--corrupt",
+        action="store_true",
+        help="list quarantined .corrupt files instead of entries",
+    )
+    sls.add_argument(
+        "--limit",
+        type=int,
+        default=50,
+        metavar="N",
+        help="show at most N entries (default 50; 0 = no limit)",
+    )
+    sgc = store_sub.add_parser(
+        "gc", help="prune quarantined and orphaned-tmp files"
+    )
+    _add_index_source(sgc, with_db=False)
+    sgc.add_argument(
+        "--stale",
+        action="store_true",
+        help="also delete entries written by another STORE_VERSION",
+    )
+    sgc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be deleted without deleting",
     )
 
     trace_parser = sub.add_parser(
@@ -404,6 +618,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         progress=progress,
         persist=not args.no_store,
     )
+    gates_report = None
+    if args.gates:
+        from .results import evaluate_gates, index_outcomes
+
+        gates_report = evaluate_gates(
+            index_outcomes(result.outcomes), claims=args.gates_claims
+        )
     if args.format == "json":
         doc = {
             "runs": [
@@ -439,9 +660,16 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 "telemetry": aggregate_telemetry(result.outcomes),
             },
         }
+        if gates_report is not None:
+            doc["gates"] = gates_report.as_dict()
         print(json.dumps(doc, indent=2))
     else:
         print(render_report(result, store))
+        if gates_report is not None:
+            print("\nAcceptance gates:")
+            print(gates_report.render())
+    if gates_report is not None and not gates_report.ok():
+        return 1
     return 1 if result.failed else 0
 
 
@@ -712,6 +940,318 @@ def _cmd_gen_traces(args: argparse.Namespace, runner: Runner) -> int:
     return 0
 
 
+def _store_dir(args: argparse.Namespace):
+    from .campaign import default_store_dir
+
+    return args.store if args.store else default_store_dir()
+
+
+def _open_query_index(args: argparse.Namespace):
+    """The index named by --db/--store, building it on first use.
+
+    An explicit ``--db`` opens that SQLite file; otherwise the store
+    directory's colocated index is opened, syncing it from the blobs when
+    it does not exist yet (later freshness is the put-time hook's and
+    ``results index``'s business).
+    """
+    from .results import index_path_for, open_index
+
+    if getattr(args, "db", None):
+        return open_index(args.db)
+    root = _store_dir(args)
+    return open_index(root, sync=not index_path_for(root).is_file())
+
+
+def _cmd_results(args: argparse.Namespace) -> int:
+    if args.results_verb == "index":
+        return _cmd_results_index(args)
+    if args.results_verb == "query":
+        return _cmd_results_query(args)
+    if args.results_verb == "compare":
+        return _cmd_results_compare(args)
+    if args.results_verb == "gates":
+        return _cmd_results_gates(args)
+    raise ReproError(f"unknown results verb {args.results_verb!r}")
+
+
+def _cmd_results_index(args: argparse.Namespace) -> int:
+    from .campaign import ResultStore
+    from .results import ResultIndex, index_path_for
+
+    root = _store_dir(args)
+    store = ResultStore(root, index=False)
+    db_path = args.db if args.db else index_path_for(root)
+    with ResultIndex(db_path) as index:
+        report = index.sync(store, prune=not args.no_prune)
+        print(f"{db_path}: {report.render()}")
+        for path in report.malformed_paths:
+            print(f"  malformed: {path}", file=sys.stderr)
+        print(f"index rows: {index.count()}")
+    return 0
+
+
+def _cmd_results_query(args: argparse.Namespace) -> int:
+    from .errors import ConfigError
+    from .results import (
+        approach_rollup,
+        intensity_breakdown,
+        pair_deltas,
+        render_intensity,
+        render_pair_deltas,
+        render_rollup,
+    )
+
+    with _open_query_index(args) as index:
+        if args.view == "deltas":
+            if not args.pair:
+                raise ConfigError(
+                    "results query --view deltas needs --pair BETTER BASELINE"
+                )
+            deltas = pair_deltas(
+                index,
+                args.pair[0],
+                args.pair[1],
+                mix=args.mix,
+                seed=args.run_seed,
+                horizon=args.run_horizon,
+            )
+            if args.format == "json":
+                print(json.dumps(deltas.as_dict(), indent=2))
+            else:
+                print(render_pair_deltas(deltas))
+            return 0
+        if args.view == "rollup":
+            rollup = approach_rollup(
+                index,
+                [args.approach] if args.approach else None,
+                horizon=args.run_horizon,
+            )
+            if args.format == "json":
+                print(json.dumps(rollup, indent=2, sort_keys=True))
+            else:
+                print(render_rollup(rollup))
+            return 0
+        if args.view == "intensity":
+            breakdown = intensity_breakdown(
+                index, [args.approach] if args.approach else None
+            )
+            if args.format == "json":
+                print(json.dumps(breakdown, indent=2, sort_keys=True))
+            else:
+                print(render_intensity(breakdown))
+            return 0
+        rows = index.rows(
+            mix=args.mix,
+            approach=args.approach,
+            seed=args.run_seed,
+            horizon=args.run_horizon,
+            current_version_only=not args.all_versions,
+        )
+        if args.format == "json":
+            print(json.dumps(rows, indent=2))
+            return 0
+        from .experiments.report import render_table
+
+        table_rows = [
+            [
+                r["mix"],
+                r["approach"],
+                "-" if r["seed"] is None else r["seed"],
+                "-" if r["horizon"] is None else r["horizon"],
+                round(float(r["ws"]), 3),
+                round(float(r["hs"]), 3),
+                round(float(r["ms"]), 3),
+                str(r["key"])[:12] + "…",
+            ]
+            for r in rows
+        ]
+        print(
+            render_table(
+                ["mix", "approach", "seed", "horizon", "ws", "hs", "ms",
+                 "key"],
+                table_rows,
+            )
+        )
+        print(f"{len(rows)} run(s)")
+    return 0
+
+
+def _cmd_results_compare(args: argparse.Namespace) -> int:
+    from .results import compare_indexes, open_index, render_compare
+
+    with open_index(args.side_a, sync=True) as index_a, open_index(
+        args.side_b, sync=True
+    ) as index_b:
+        summary = compare_indexes(
+            index_a,
+            index_b,
+            label_a=args.side_a,
+            label_b=args.side_b,
+            tolerance_pct=args.tolerance,
+        )
+    if args.format == "json":
+        print(json.dumps(summary.as_dict(), indent=2))
+    else:
+        print(render_compare(summary))
+    if args.fail_on_regression and summary.regressions:
+        return 1
+    return 0
+
+
+def _cmd_results_gates(args: argparse.Namespace) -> int:
+    from .results import PAPER_GATES, evaluate_gates, load_gates_file
+
+    gates = (
+        load_gates_file(args.gates_file) if args.gates_file else PAPER_GATES
+    )
+    with _open_query_index(args) as index:
+        report = evaluate_gates(
+            index,
+            gates,
+            claims=args.claims,
+            horizon=args.run_horizon,
+            seed=args.run_seed,
+        )
+    doc = report.as_dict(strict=args.strict)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(doc, handle, indent=2)
+            handle.write("\n")
+    if args.format == "json":
+        print(json.dumps(doc, indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok(strict=args.strict) else 1
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from .campaign import ResultStore
+
+    store = ResultStore(_store_dir(args), index=False)
+    if args.store_verb == "stats":
+        return _cmd_store_stats(args, store)
+    if args.store_verb == "ls":
+        return _cmd_store_ls(args, store)
+    if args.store_verb == "gc":
+        return _cmd_store_gc(args, store)
+    raise ReproError(f"unknown store verb {args.store_verb!r}")
+
+
+def _cmd_store_stats(args: argparse.Namespace, store) -> int:
+    disk = store.disk_stats()
+    index_rows = None
+    versions = {}
+    if disk["index_exists"]:
+        from .results import ResultIndex
+
+        with ResultIndex(store.index_path()) as index:
+            index_rows = index.count()
+            versions = index.version_counts()
+    if args.format == "json":
+        doc = dict(disk)
+        doc["index_rows"] = index_rows
+        doc["index_version_counts"] = {
+            str(v): n for v, n in sorted(versions.items())
+        }
+        doc["handle_stats"] = store.stats.as_dict()
+        print(json.dumps(doc, indent=2))
+        return 0
+    print(f"store {disk['root']}")
+    print(
+        f"  entries:     {disk['entries']} "
+        f"({disk['entry_bytes']} bytes)"
+    )
+    print(
+        f"  quarantined: {disk['quarantined']} "
+        f"({disk['quarantined_bytes']} bytes)"
+    )
+    print(f"  tmp files:   {disk['tmp_files']}")
+    if index_rows is None:
+        print("  index:       absent (build with: repro-dbp results index)")
+    else:
+        version_text = ", ".join(
+            f"v{v}: {n}" for v, n in sorted(versions.items())
+        )
+        print(
+            f"  index:       {index_rows} row(s), "
+            f"{disk['index_bytes']} bytes ({version_text})"
+        )
+    return 0
+
+
+def _cmd_store_ls(args: argparse.Namespace, store) -> int:
+    if args.corrupt:
+        paths = store.quarantined_paths()
+        for path in paths:
+            print(path)
+        print(f"{len(paths)} quarantined file(s)")
+        return 0
+    from .experiments.report import render_table
+
+    shown = 0
+    rows = []
+    total = 0
+    for key, path in store.iter_blobs():
+        total += 1
+        if args.limit and shown >= args.limit:
+            continue
+        shown += 1
+        try:
+            doc = store.load_doc(path)
+            spec = doc.get("spec") or {}
+            metrics = doc["result"]["metrics"]
+            rows.append(
+                [
+                    key[:12] + "…",
+                    doc.get("version", "?"),
+                    spec.get("mix") or metrics.get("mix", "?"),
+                    spec.get("approach") or metrics.get("approach", "?"),
+                    spec.get("seed", "-"),
+                    spec.get("horizon", "-"),
+                ]
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            rows.append([key[:12] + "…", "?", "<malformed>", "-", "-", "-"])
+    print(
+        render_table(
+            ["key", "ver", "mix", "approach", "seed", "horizon"], rows
+        )
+    )
+    suffix = f" (showing {shown})" if shown < total else ""
+    print(f"{total} entr{'y' if total == 1 else 'ies'}{suffix}")
+    return 0
+
+
+def _cmd_store_gc(args: argparse.Namespace, store) -> int:
+    removed = []
+    if args.dry_run:
+        quarantined = store.quarantined_paths()
+        tmp = store.orphaned_tmp_paths()
+        stale = store.stale_paths() if args.stale else []
+        for label, paths in (
+            ("quarantined", quarantined),
+            ("tmp", tmp),
+            ("stale", stale),
+        ):
+            for path in paths:
+                print(f"would delete [{label}] {path}")
+        print(
+            f"dry run: {len(quarantined)} quarantined, {len(tmp)} tmp"
+            + (f", {len(stale)} stale" if args.stale else "")
+            + " file(s) would be deleted"
+        )
+        return 0
+    count, freed = store.purge_quarantined()
+    removed.append(f"{count} quarantined ({freed} bytes)")
+    count, freed = store.purge_orphaned_tmp()
+    removed.append(f"{count} tmp ({freed} bytes)")
+    if args.stale:
+        count, freed = store.purge_stale()
+        removed.append(f"{count} stale ({freed} bytes)")
+    print(f"gc {store.root}: removed " + ", ".join(removed))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = _build_parser()
@@ -721,6 +1261,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_list()
         if args.command == "campaign":
             return _cmd_campaign(args)
+        if args.command == "results":
+            return _cmd_results(args)
+        if args.command == "store":
+            return _cmd_store(args)
         if args.command == "trace":
             return _cmd_trace(args)
         if args.command == "metrics":

@@ -322,6 +322,9 @@ class Runner:
                 "horizon": self.horizon,
                 "target_insts": self.target_insts,
             }
+            digests = self.library_digests(apps)
+            if digests:
+                describe["trace_digests"] = digests
             if run_result.telemetry is not None:
                 describe["telemetry"] = run_result.telemetry
             self.store.put(

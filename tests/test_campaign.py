@@ -212,14 +212,34 @@ class TestStore:
         assert not path.exists()
         assert path.with_name(path.name + ".corrupt").exists()
 
-    def test_wrong_key_entry_quarantined(self, tmp_path):
+    def test_stale_version_entry_skipped_not_quarantined(self, tmp_path):
         store = ResultStore(tmp_path / "store")
         key = "ef" + "2" * 62
         path = store.path_for(key)
         path.parent.mkdir(parents=True)
         path.write_text(json.dumps({"version": 999, "key": key}))
         assert store.get(key) is None
+        assert store.stats.stale == 1
+        assert store.stats.misses == 1
+        assert store.stats.corrupt == 0
+        # Stale entries stay on disk: a recompute overwrites the same path.
+        assert path.exists()
+
+    def test_wrong_key_entry_quarantined(self, tmp_path):
+        from repro.campaign.store import STORE_VERSION
+
+        store = ResultStore(tmp_path / "store")
+        key = "ef" + "3" * 62
+        path = store.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text(
+            json.dumps({"version": STORE_VERSION, "key": "not-the-key"})
+        )
+        assert store.get(key) is None
         assert store.stats.corrupt == 1
+        assert store.stats.stale == 0
+        assert not path.exists()
+        assert path.with_name(path.name + ".corrupt").exists()
 
 
 class TestExecutor:
