@@ -1,0 +1,243 @@
+#!/usr/bin/env python
+"""Kernel hot-loop benchmark: cycles/sec of the controller decision path.
+
+Times the same run ``repro-dbp trace --profile`` performs — the default
+4-core mix through one full ``System`` with the wall-clock profiler
+attached — and reports simulated cycles per wall second, per kernel.
+
+Modes:
+
+* default       — time the selected kernel(s), print cycles/sec.
+* ``--record``  — additionally update the ``post`` entry (and trajectory)
+                  in ``benchmarks/BENCH_kernel.json``.
+* ``--check``   — CI smoke: run both kernels back-to-back on this host and
+                  require fast/reference >= ``ci.min_ratio`` from
+                  BENCH_kernel.json. Comparing the two kernels on the same
+                  host makes the gate machine-independent, unlike absolute
+                  cycles/sec. Also cross-checks that both kernels produced
+                  identical results (commands, events, per-thread IPC).
+* ``--report``  — write the last run's full profile report as JSON (the CI
+                  job uploads this as an artifact).
+
+    PYTHONPATH=src python scripts/bench_kernel.py --check --reps 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0,
+    os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+    ),
+)
+
+from repro.config import SystemConfig  # noqa: E402
+from repro.core.integration import get_approach  # noqa: E402
+from repro.sim.system import System  # noqa: E402
+from repro.traces.source import DefaultTraceSource  # noqa: E402
+from repro.workloads import resolve_mix  # noqa: E402
+
+BENCH_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "benchmarks",
+    "BENCH_kernel.json",
+)
+
+
+def _build_traces(args):
+    source = DefaultTraceSource()
+    return [
+        source.trace_for(app, args.seed, args.target_insts)
+        for app in resolve_mix(args.mix).apps
+    ]
+
+
+def _one_run(args, traces, kernel):
+    approach = get_approach(args.approach)
+    config = SystemConfig().with_scheduler(
+        approach.scheduler, **approach.scheduler_params
+    )
+    system = System(
+        config,
+        traces,
+        horizon=args.horizon,
+        policy=approach.make_policy(),
+        profile=True,
+        kernel=kernel,
+    )
+    started = time.perf_counter()
+    result = system.run()
+    wall = time.perf_counter() - started
+    return {
+        "wall_seconds": wall,
+        "cycles_per_sec": args.horizon / wall,
+        "engine_events": result.engine_events,
+        "profile": system.profile_report(),
+        "digest": {
+            "total_commands": result.total_commands,
+            "total_refreshes": result.total_refreshes,
+            "engine_events": result.engine_events,
+            "ipc": {
+                str(t): tr.ipc for t, tr in sorted(result.threads.items())
+            },
+        },
+    }
+
+
+def bench_kernel(args, traces, kernel):
+    """Best-of-N timing for one kernel; returns a summary document."""
+    runs = []
+    for _ in range(args.reps):
+        runs.append(_one_run(args, traces, kernel))
+    runs_sorted = sorted(runs, key=lambda r: r["wall_seconds"])
+    best = runs_sorted[0]
+    median = runs_sorted[len(runs_sorted) // 2]
+    return {
+        "kernel": kernel,
+        "reps": args.reps,
+        "cycles_per_sec_best": best["cycles_per_sec"],
+        "cycles_per_sec_median": median["cycles_per_sec"],
+        "wall_seconds_best": best["wall_seconds"],
+        "walls": [round(r["wall_seconds"], 4) for r in runs],
+        "engine_events": best["engine_events"],
+        "digest": best["digest"],
+        "profile": best["profile"],
+    }
+
+
+def _print_summary(summary):
+    print(
+        f"{summary['kernel']:>9}: "
+        f"{summary['cycles_per_sec_best']:>10.0f} cyc/s best, "
+        f"{summary['cycles_per_sec_median']:>10.0f} median "
+        f"(walls {summary['walls']}, events {summary['engine_events']})"
+    )
+
+
+def _load_bench():
+    with open(BENCH_PATH) as handle:
+        return json.load(handle)
+
+
+def _record(args, fast_summary):
+    doc = _load_bench()
+    baseline = doc["baseline"]["cycles_per_sec_best"]
+    entry = {
+        "date": args.date,
+        "kernel": "fast",
+        "cycles_per_sec_best": round(fast_summary["cycles_per_sec_best"], 1),
+        "cycles_per_sec_median": round(
+            fast_summary["cycles_per_sec_median"], 1
+        ),
+        "walls": fast_summary["walls"],
+        "engine_events": fast_summary["engine_events"],
+        "speedup_vs_baseline": round(
+            fast_summary["cycles_per_sec_best"] / baseline, 3
+        ),
+    }
+    doc["post"] = entry
+    doc.setdefault("trajectory", []).append(entry)
+    with open(BENCH_PATH, "w") as handle:
+        json.dump(doc, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"recorded post: {entry['cycles_per_sec_best']:.0f} cyc/s "
+        f"({entry['speedup_vs_baseline']}x vs committed baseline)"
+    )
+
+
+def _check(args, traces):
+    """Same-host fast-vs-reference ratio gate (machine-independent)."""
+    doc = _load_bench()
+    min_ratio = doc["ci"]["min_ratio"]
+    fast = bench_kernel(args, traces, "fast")
+    reference = bench_kernel(args, traces, "reference")
+    _print_summary(fast)
+    _print_summary(reference)
+    if fast["digest"] != reference["digest"]:
+        print("FAIL: fast and reference kernels disagree on results")
+        return 1, fast
+    ratio = fast["cycles_per_sec_best"] / reference["cycles_per_sec_best"]
+    print(f"fast/reference ratio: {ratio:.2f}x (gate: >= {min_ratio}x)")
+    if ratio < min_ratio:
+        print("FAIL: fast kernel lost its lead over the reference rescan")
+        return 1, fast
+    print("PASS")
+    return 0, fast
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--mix", default="M4")
+    parser.add_argument("--approach", default="dbp-tcm")
+    parser.add_argument("--horizon", type=int, default=400_000)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--target-insts", type=int, default=4_000_000)
+    parser.add_argument("--reps", type=int, default=3)
+    parser.add_argument(
+        "--kernel",
+        choices=("fast", "reference", "both"),
+        default="fast",
+        help="kernel(s) to time (ignored by --check, which runs both)",
+    )
+    parser.add_argument(
+        "--record",
+        action="store_true",
+        help="update the post entry in benchmarks/BENCH_kernel.json",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="CI gate: fast/reference ratio >= ci.min_ratio",
+    )
+    parser.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="write the fast kernel's profile report JSON here",
+    )
+    parser.add_argument(
+        "--date",
+        default=time.strftime("%Y-%m-%d"),
+        help="date stamp for --record entries",
+    )
+    args = parser.parse_args()
+
+    traces = _build_traces(args)
+    status = 0
+    if args.check:
+        status, fast = _check(args, traces)
+    else:
+        kernels = (
+            ["fast", "reference"] if args.kernel == "both" else [args.kernel]
+        )
+        fast = None
+        for kernel in kernels:
+            summary = bench_kernel(args, traces, kernel)
+            _print_summary(summary)
+            if kernel == "fast":
+                fast = summary
+    if args.record:
+        if fast is None:
+            print("--record needs a fast-kernel measurement", file=sys.stderr)
+            return 2
+        _record(args, fast)
+    if args.report:
+        if fast is None:
+            print("--report needs a fast-kernel measurement", file=sys.stderr)
+            return 2
+        with open(args.report, "w") as handle:
+            json.dump(fast["profile"], handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote profile report to {args.report}")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Regenerate the kernel-equivalence golden fixture.
+
+Runs the differential grid (approach x scheduler x page-policy) once and
+writes every simulation-visible result — per-thread outcomes, command and
+refresh totals, engine event counts, and the full metrics-registry
+snapshot — to ``tests/data/kernel_golden.json``.
+
+The committed fixture was generated from the pre-fast-path reference
+implementation, so it pins both kernel paths to the seed semantics. Only
+regenerate it deliberately, when a simulation-*visible* behaviour change is
+intended (and say so in the commit):
+
+    PYTHONPATH=src python scripts/gen_kernel_golden.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.kernelgrid import GRID, golden_document  # noqa: E402
+
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "tests",
+    "data",
+    "kernel_golden.json",
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    parser.add_argument(
+        "--kernel",
+        default=None,
+        help="kernel path to generate with (default: the repo default)",
+    )
+    args = parser.parse_args()
+    doc = golden_document(kernel=args.kernel)
+    os.makedirs(os.path.dirname(args.out), exist_ok=True)
+    with open(args.out, "w") as handle:
+        json.dump(doc, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {len(doc['runs'])} grid runs ({len(GRID)} specs) to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,6 +26,12 @@ class AccessResult:
     writeback_line: Optional[int] = None  # dirty victim, if the fill evicted one
 
 
+# Immutable, so the two dominant outcomes (hit, clean miss) are shared
+# singletons instead of a fresh allocation per access.
+_HIT = AccessResult(hit=True)
+_CLEAN_MISS = AccessResult(hit=False)
+
+
 class _Line:
     __slots__ = ("tag", "dirty")
 
@@ -49,7 +55,10 @@ class Cache:
         self._set_bits = ilog2(self.num_sets)
         self._set_mask = self.num_sets - 1
         # ways[set] maps way index -> _Line; sparse, created on first touch.
+        # A parallel tag index (set -> tag -> way) makes lookup a dict get
+        # instead of an associativity-wide scan.
         self._ways: Dict[int, Dict[int, _Line]] = {}
+        self._tag_to_way: Dict[int, Dict[int, int]] = {}
         policy_params = {"seed": seed} if replacement == "random" else {}
         self.policy: ReplacementPolicy = make_policy(
             replacement, self.num_sets, self.associativity, **policy_params
@@ -60,13 +69,10 @@ class Cache:
 
     # ------------------------------------------------------------------
     def _locate(self, set_index: int, tag: int) -> Optional[int]:
-        ways = self._ways.get(set_index)
-        if ways is None:
+        tags = self._tag_to_way.get(set_index)
+        if tags is None:
             return None
-        for way, line in ways.items():
-            if line.tag == tag:
-                return way
-        return None
+        return tags.get(tag)
 
     def access(self, line_addr: int, is_write: bool) -> AccessResult:
         """Look up ``line_addr``; allocate on miss (write-allocate).
@@ -82,16 +88,27 @@ class Cache:
             self.policy.on_touch(set_index, way)
             if is_write and self.config.writeback:
                 self._ways[set_index][way].dirty = True
-            return AccessResult(hit=True)
+            return _HIT
         self.stat_misses += 1
         writeback = self._fill(set_index, tag, dirty=is_write and self.config.writeback)
+        if writeback is None:
+            return _CLEAN_MISS
         return AccessResult(hit=False, writeback_line=writeback)
 
     def _fill(self, set_index: int, tag: int, dirty: bool) -> Optional[int]:
         ways = self._ways.setdefault(set_index, {})
+        tags = self._tag_to_way.setdefault(set_index, {})
         if len(ways) < self.associativity:
             way = len(ways)
+            # After an invalidation the set has a hole, so this way index
+            # may already be populated; the overwritten line's tag must
+            # leave the index (matching the historical scan semantics,
+            # where an overwritten line simply stopped being findable).
+            old = ways.get(way)
+            if old is not None:
+                del tags[old.tag]
             ways[way] = _Line(tag, dirty)
+            tags[tag] = way
             self.policy.on_touch(set_index, way)
             return None
         way = self.policy.victim(set_index)
@@ -100,7 +117,9 @@ class Cache:
         if victim.dirty:
             writeback = (victim.tag << self._set_bits) | set_index
             self.stat_writebacks += 1
+        del tags[victim.tag]
         ways[way] = _Line(tag, dirty)
+        tags[tag] = way
         self.policy.on_touch(set_index, way)
         return writeback
 
@@ -136,6 +155,7 @@ class Cache:
         if way is None:
             return False
         del self._ways[set_index][way]
+        del self._tag_to_way[set_index][tag]
         return True
 
     @property

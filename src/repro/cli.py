@@ -70,6 +70,15 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=1, help="workload generation seed"
     )
+    parser.add_argument(
+        "--kernel",
+        choices=("fast", "reference"),
+        default=None,
+        help=(
+            "controller hot-loop implementation (default: REPRO_KERNEL env "
+            "or 'fast'); results are bit-identical either way"
+        ),
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list experiments, approaches, apps, mixes")
@@ -750,6 +759,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             capacity=args.capacity, stream_path=args.stream
         ),
         profile=args.profile,
+        kernel=getattr(args, "kernel", None),
     )
     result = runner.run_mix(mix, args.approach)
     recorder = runner.last_telemetry
@@ -795,7 +805,11 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     from .metrics.registry import prometheus_text
 
     mix = resolve_mix(args.mix)
-    runner = Runner(horizon=args.horizon, seed=args.seed)
+    runner = Runner(
+        horizon=args.horizon,
+        seed=args.seed,
+        kernel=getattr(args, "kernel", None),
+    )
     result = runner.run_mix(mix, args.approach)
     snapshot = result.metrics_snapshot or {"metrics": []}
     if args.format == "json":
@@ -1282,6 +1296,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             store=store,
             jobs=getattr(args, "jobs", 1),
             profile=getattr(args, "profile", False),
+            kernel=getattr(args, "kernel", None),
         )
         if args.command == "config":
             print(runner.config.describe())

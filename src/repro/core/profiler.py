@@ -106,11 +106,13 @@ class ThreadProfiler:
             state.outstanding_per_bank[bank] = count
 
     def _flush_blp(self, state: _ThreadState, now: int) -> None:
-        if state.active_banks > 0 and now > state.last_change:
-            elapsed = now - state.last_change
-            state.blp_integral += state.active_banks * elapsed
-            state.active_time += elapsed
-        state.last_change = max(state.last_change, now)
+        if now > state.last_change:
+            active = state.active_banks
+            if active > 0:
+                elapsed = now - state.last_change
+                state.blp_integral += active * elapsed
+                state.active_time += elapsed
+            state.last_change = now
 
     # ------------------------------------------------------------------
     # Epoch boundary.

@@ -35,7 +35,6 @@ from typing import Callable, Deque, Dict, Optional, Protocol, Tuple
 
 from ..config import CoreConfig
 from ..errors import SimulationError
-from ..utils import ceil_div
 from .trace import Trace
 
 
@@ -113,6 +112,10 @@ class Core:
         self._records = trace.records
         self._cum = trace.cumulative_insts
         self._insts_per_loop = trace.total_insts
+        # Hoisted config constants for the per-record hot loops.
+        self._width = config.width
+        self._mshrs = config.mshrs
+        self._rob_size = config.rob_size
         # Retirement state.
         self._retire_idx = 0
         self._retire_clock = 0
@@ -183,9 +186,12 @@ class Core:
     # Retirement.
     # ------------------------------------------------------------------
     def _advance_retirement(self, now: int) -> bool:
-        width = self.config.width
+        width = self._width
         limit = now + self.ahead_limit
         progressed = False
+        records = self._records
+        n = self._n
+        complete = self._complete
         while self._retire_clock < limit:
             idx = self._retire_idx
             # Retirement may pass unissued writes (they never block), but
@@ -194,14 +200,14 @@ class Core:
             # back to issuing once this cap is hit.
             if idx - self._issue_idx >= self._history_span - 2:
                 break
-            record = self._record(idx)
+            record = records[idx % n]
             completion: Optional[int] = None
             if not record.is_write:
-                completion = self._complete.get(idx)
+                completion = complete.get(idx)
                 if completion is None:
                     break  # head read still outstanding (or not yet issued)
             t_start = self._retire_clock
-            t_end = t_start + ceil_div(record.gap + 1, width)
+            t_end = t_start - (-(record.gap + 1) // width)
             if completion is not None:
                 t_end = max(t_end, completion + 1)
             if t_end >= self.horizon:
@@ -233,14 +239,16 @@ class Core:
     # ------------------------------------------------------------------
     def _issue_requests(self, now: int) -> bool:
         progressed = False
+        records = self._records
+        n = self._n
+        mshrs = self._mshrs
+        rob_size = self._rob_size
         while True:
             idx = self._issue_idx
-            record = self._record(idx)
-            if not record.is_write and (
-                self._outstanding_reads >= self.config.mshrs
-            ):
+            record = records[idx % n]
+            if not record.is_write and self._outstanding_reads >= mshrs:
                 break
-            threshold = self._m(idx) - self.config.rob_size
+            threshold = self._m(idx) - rob_size
             cross = self._crossing_time(threshold)
             if cross is None:
                 break  # ROB window has not reached this record yet
@@ -289,7 +297,7 @@ class Core:
             pending_limit = self._retired_processed + pending.gap
             if threshold <= pending_limit:
                 offset = threshold - self._retired_processed
-                return self._retire_clock + ceil_div(offset, self.config.width)
+                return self._retire_clock - (-offset // self._width)
             return None
         history = self._history
         while history and history[0][1] < threshold:
@@ -304,7 +312,7 @@ class Core:
         if offset <= 0:
             return t_start
         if offset <= gap:
-            return min(t_end, t_start + ceil_div(offset, self.config.width))
+            return min(t_end, t_start - (-offset // self._width))
         return t_end
 
     # ------------------------------------------------------------------
@@ -320,11 +328,28 @@ class Core:
         """Reads currently in flight to the memory system."""
         return self._outstanding_reads
 
-    def ipc(self) -> float:
-        """Retired IPC over the full horizon (valid once finished)."""
+    def finalize(self) -> None:
+        """Freeze the retirement counters at end of run (idempotent).
+
+        When the run was cut short by the engine (e.g. all cores idle),
+        everything processed retired before the horizon. Called by the
+        system after the event loop drains; never during simulation —
+        ``finished`` gates retirement in :meth:`process`.
+        """
         if not self.stats.finished:
-            # The run was cut short by the engine (e.g. all cores idle);
-            # everything processed retired before the horizon.
             self.stats.retired_insts = self._retired_processed
             self.stats.finished = True
-        return self.stats.retired_insts / self.horizon
+
+    def ipc(self) -> float:
+        """Retired IPC over the full horizon.
+
+        Pure: safe to call mid-run (an epoch-boundary probe sees the
+        instructions retired so far) — only :meth:`finalize` and
+        :meth:`_finish_at_horizon` freeze the stats.
+        """
+        retired = (
+            self.stats.retired_insts
+            if self.stats.finished
+            else self._retired_processed
+        )
+        return retired / self.horizon

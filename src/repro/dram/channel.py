@@ -8,7 +8,7 @@ both to pick commands and to event-skip to the next interesting cycle.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..errors import ProtocolError
 from .bank import Bank
@@ -41,12 +41,16 @@ class Channel:
         ]
         # Command bus: one command per DRAM bus cycle.
         self._next_cmd_free = 0
-        # Data bus bookkeeping for CAS-to-CAS constraints.
-        self._last_cas_issue_by_rank: Dict[int, int] = {}
+        # Data bus bookkeeping for CAS-to-CAS constraints. Rank-indexed
+        # state lives in flat lists (struct-of-arrays): ranks are dense
+        # small integers and these fields sit on the hottest query path.
+        self._last_cas_issue_by_rank: List[Optional[int]] = [None] * num_ranks
         self._last_cas_rank: Optional[int] = None
         self._last_data_end = _NEVER
         self._last_read_issue = _NEVER
-        self._last_write_data_end_by_rank: Dict[int, int] = {}
+        self._last_write_data_end_by_rank: List[Optional[int]] = (
+            [None] * num_ranks
+        )
         self.command_log: Optional[List[Command]] = None
         self.stat_commands = 0
 
@@ -86,37 +90,55 @@ class Channel:
             self.ranks[rank].banks[bank].precharge_ready_at(),
         )
 
+    def cas_floor(self, rank: int, is_write: bool) -> int:
+        """Bank-independent part of :meth:`earliest_cas`.
+
+        Folds in the command bus, same-rank tCCD and tWTR, read-to-write
+        turnaround, cross-rank tRTRS, and raw data-bus occupancy — every
+        constraint shared by all banks of ``rank``. The controller's fast
+        kernel computes this once per (rank, direction) per decision and
+        combines it with each candidate bank's own horizon.
+        """
+        t = self.timings
+        issue = self._next_cmd_free
+        # Same-rank CAS-to-CAS spacing.
+        last_same = self._last_cas_issue_by_rank[rank]
+        if last_same is not None:
+            ccd = last_same + t.tCCD
+            if ccd > issue:
+                issue = ccd
+        # Data-bus occupancy: next burst starts after the previous ends,
+        # with a tRTRS bubble when switching driving rank.
+        if self._last_data_end != _NEVER:
+            gap = t.tRTRS if self._last_cas_rank not in (None, rank) else 0
+            data_lead = t.CWL if is_write else t.CL
+            bus = self._last_data_end + gap - data_lead
+            if bus > issue:
+                issue = bus
+        if is_write:
+            # Read-to-write turnaround on the shared bus.
+            if self._last_read_issue != _NEVER:
+                rtw = self._last_read_issue + t.tRTW
+                if rtw > issue:
+                    issue = rtw
+        else:
+            # Write-to-read: tWTR after the last write data beat, same rank.
+            last_wr = self._last_write_data_end_by_rank[rank]
+            if last_wr is not None:
+                wtr = last_wr + t.tWTR
+                if wtr > issue:
+                    issue = wtr
+        return issue
+
     def earliest_cas(self, rank: int, bank: int, is_write: bool) -> int:
         """Earliest legal READ/WRITE to the open row of (rank, bank).
 
         Folds in bank tRCD, same-rank tCCD and tWTR, read-to-write
         turnaround, cross-rank tRTRS, and raw data-bus occupancy.
         """
-        t = self.timings
-        issue = max(
-            self._next_cmd_free,
-            self.ranks[rank].banks[bank].cas_ready_at(is_write),
-        )
-        data_lead = t.CWL if is_write else t.CL
-        # Same-rank CAS-to-CAS spacing.
-        last_same = self._last_cas_issue_by_rank.get(rank)
-        if last_same is not None:
-            issue = max(issue, last_same + t.tCCD)
-        # Data-bus occupancy: next burst starts after the previous ends,
-        # with a tRTRS bubble when switching driving rank.
-        if self._last_data_end != _NEVER:
-            gap = t.tRTRS if self._last_cas_rank not in (None, rank) else 0
-            issue = max(issue, self._last_data_end + gap - data_lead)
-        if is_write:
-            # Read-to-write turnaround on the shared bus.
-            if self._last_read_issue != _NEVER:
-                issue = max(issue, self._last_read_issue + t.tRTW)
-        else:
-            # Write-to-read: tWTR after the last write data beat, same rank.
-            last_wr = self._last_write_data_end_by_rank.get(rank)
-            if last_wr is not None:
-                issue = max(issue, last_wr + t.tWTR)
-        return issue
+        floor = self.cas_floor(rank, is_write)
+        ready = self.ranks[rank].banks[bank].cas_ready_at(is_write)
+        return ready if ready > floor else floor
 
     def earliest_refresh(self, rank: int) -> int:
         """Earliest legal REFRESH (requires all banks idle; bank horizons)."""
@@ -150,13 +172,15 @@ class Channel:
                 f"command bus busy until {self._next_cmd_free}, got {command}"
             )
         result = 0
-        if command.kind is CommandType.ACTIVATE:
-            self._issue_activate(command)
-        elif command.kind is CommandType.PRECHARGE:
-            self.ranks[command.rank].banks[command.bank].precharge(now)
-        elif command.kind in (CommandType.READ, CommandType.WRITE):
+        kind = command.kind
+        # CAS first: half of all issued commands are READ/WRITE.
+        if kind is CommandType.READ or kind is CommandType.WRITE:
             result = self._issue_cas(command)
-        elif command.kind is CommandType.REFRESH:
+        elif kind is CommandType.ACTIVATE:
+            self._issue_activate(command)
+        elif kind is CommandType.PRECHARGE:
+            self.ranks[command.rank].banks[command.bank].precharge(now)
+        elif kind is CommandType.REFRESH:
             result = self.ranks[command.rank].refresh(now)
         else:  # pragma: no cover - exhaustive over CommandType
             raise ProtocolError(f"unknown command kind {command.kind}")
@@ -178,24 +202,26 @@ class Channel:
 
     def _issue_cas(self, command: Command) -> int:
         is_write = command.kind is CommandType.WRITE
-        earliest = self.earliest_cas(command.rank, command.bank, is_write)
-        if command.cycle < earliest:
+        rank = command.rank
+        now = command.cycle
+        earliest = self.earliest_cas(rank, command.bank, is_write)
+        if now < earliest:
             raise ProtocolError(
                 f"{command} violates bus/turnaround timing "
                 f"(earliest @{earliest})"
             )
-        bank = self.ranks[command.rank].banks[command.bank]
+        bank = self.ranks[rank].banks[command.bank]
         row = bank.open_row
         if row is None:
             raise ProtocolError(f"{command} to a bank with no open row")
         if is_write:
-            data_end = bank.write(command.cycle, row)
-            self._last_write_data_end_by_rank[command.rank] = data_end
+            data_end = bank.write(now, row)
+            self._last_write_data_end_by_rank[rank] = data_end
         else:
-            data_end = bank.read(command.cycle, row)
-            self._last_read_issue = command.cycle
-        self._last_cas_issue_by_rank[command.rank] = command.cycle
-        self._last_cas_rank = command.rank
+            data_end = bank.read(now, row)
+            self._last_read_issue = now
+        self._last_cas_issue_by_rank[rank] = now
+        self._last_cas_rank = rank
         self._last_data_end = data_end
         return data_end
 

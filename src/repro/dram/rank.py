@@ -37,6 +37,10 @@ class Rank:
         # Timestamps of the most recent ACTIVATEs, for the tFAW window.
         self._recent_activates: Deque[int] = deque(maxlen=4)
         self._last_activate = -(10**9)
+        # activate_ready_at() is a pure function of the recorded ACT
+        # history, so it is kept as a scalar updated on record_activate —
+        # the controller reads it once per decision.
+        self._act_ready = self._last_activate + timings.tRRD
         self.next_refresh_due = timings.tREFI if refresh_enabled else 1 << 62
         self.stat_refreshes = 0
 
@@ -45,20 +49,24 @@ class Rank:
     # ------------------------------------------------------------------
     def activate_ready_at(self) -> int:
         """Earliest cycle any ACTIVATE is rank-legal (tRRD and tFAW)."""
-        ready = self._last_activate + self.timings.tRRD
-        if len(self._recent_activates) == 4:
-            ready = max(ready, self._recent_activates[0] + self.timings.tFAW)
-        return ready
+        return self._act_ready
 
     def record_activate(self, now: int) -> None:
         """Account an ACTIVATE against the tRRD/tFAW windows."""
-        if now < self.activate_ready_at():
+        if now < self._act_ready:
             raise ProtocolError(
                 f"ACT @{now} violates rank rk{self.rank_id} tRRD/tFAW "
-                f"(ready @{self.activate_ready_at()})"
+                f"(ready @{self._act_ready})"
             )
-        self._recent_activates.append(now)
+        recent = self._recent_activates
+        recent.append(now)
         self._last_activate = now
+        ready = now + self.timings.tRRD
+        if len(recent) == 4:
+            faw = recent[0] + self.timings.tFAW
+            if faw > ready:
+                ready = faw
+        self._act_ready = ready
 
     # ------------------------------------------------------------------
     # Refresh.

@@ -16,17 +16,19 @@ leaving every bank usable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, NamedTuple
 
 from ..config import DRAMOrganization
 from ..errors import MappingError
 from ..utils import ilog2
 
 
-@dataclass(frozen=True)
-class MemLocation:
-    """A decoded DRAM coordinate for one cache line."""
+class MemLocation(NamedTuple):
+    """A decoded DRAM coordinate for one cache line.
+
+    A NamedTuple: one is built per DRAM request, so construction cost
+    matters, and the coordinate is plain immutable data.
+    """
 
     channel: int
     rank: int
@@ -81,6 +83,12 @@ class AddressMap:
         # Frame-number field layout (frame = line address >> page_line_bits).
         self._col_hi_bits = self.col_bits - self.page_line_bits
         self.frames_total = org.capacity_bytes // page_size
+        # Field masks, precomputed for the per-request decompose path.
+        self._row_mask = (1 << self.row_bits) - 1
+        self._bank_mask = (1 << self.bank_bits) - 1
+        self._chan_mask = (1 << self.chan_bits) - 1
+        self._rank_mask = (1 << self.rank_bits) - 1
+        self._col_mask = (1 << self.col_bits) - 1
 
     # ------------------------------------------------------------------
     # Line-address <-> DRAM coordinates.
@@ -92,17 +100,16 @@ class AddressMap:
                 f"line address {line_addr:#x} outside "
                 f"{self.org.capacity_bytes}-byte memory"
             )
-        mask = lambda bits: (1 << bits) - 1  # noqa: E731 - local shorthand
-        row = (line_addr >> self._row_shift) & mask(self.row_bits)
-        bank = (line_addr >> self._bank_shift) & mask(self.bank_bits)
+        row = (line_addr >> self._row_shift) & self._row_mask
+        bank = (line_addr >> self._bank_shift) & self._bank_mask
         if self.bank_xor:
-            bank ^= row & mask(self.bank_bits)
+            bank ^= row & self._bank_mask
         return MemLocation(
-            channel=(line_addr >> self._chan_shift) & mask(self.chan_bits),
-            rank=(line_addr >> self._rank_shift) & mask(self.rank_bits),
-            bank=bank,
-            row=row,
-            col=line_addr & mask(self.col_bits),
+            (line_addr >> self._chan_shift) & self._chan_mask,
+            (line_addr >> self._rank_shift) & self._rank_mask,
+            bank,
+            row,
+            line_addr & self._col_mask,
         )
 
     def decompose(self, phys_addr: int) -> MemLocation:

@@ -7,20 +7,63 @@ schedule. It is event-driven: a decision event issues at most one command,
 then reschedules itself either one command-bus slot later (more work ready)
 or at the earliest cycle anything can become issuable (event skipping) —
 never cycle by cycle.
+
+Two interchangeable decision kernels implement the per-decision work (see
+DESIGN.md "Simulation kernel"):
+
+* ``reference`` — rescans every queued request each decision through
+  :meth:`Scheduler.key` / :meth:`Scheduler.thread_priority` and the
+  channel's ``earliest_*`` queries. Deliberately transparent; the golden
+  fixture in ``tests/data/kernel_golden.json`` pins its results.
+* ``fast`` (default) — per-bank indexed queues with a memoized best
+  request per bank, invalidated by command issue and by the scheduler's
+  :meth:`Scheduler.ordering_token`, plus bank-independent per-rank timing
+  floors computed once per decision. Bit-identical to ``reference`` by
+  contract, enforced by ``tests/test_kernel_equivalence.py`` over the full
+  approach x page-policy grid.
+
+Both kernels share the same decision-event scheduling, so even the engine's
+event stream (and therefore ``Engine.stat_events``) is identical.
 """
 
 from __future__ import annotations
 
+import os
+from heapq import heappush
 from typing import Dict, List, Optional, Tuple
 
 from ..config import ControllerConfig
 from ..dram.channel import Channel
 from ..dram.commands import Command, CommandType
-from ..errors import SimulationError
+from ..errors import ConfigError, SimulationError
 from .request import Request
 from .schedulers.base import Scheduler
 
 _FAR_FUTURE = 1 << 62
+
+#: The two decision kernels; ``fast`` must stay bit-identical to
+#: ``reference`` (differential-tested), so the default is safe to flip.
+KERNELS = ("fast", "reference")
+
+#: Unique sentinel: "no ordering token cached yet" (distinct from any
+#: token a scheduler can return, including None).
+_TOKEN_UNSET = object()
+
+
+def resolve_kernel(kernel: Optional[str]) -> str:
+    """Resolve a kernel name: explicit argument > $REPRO_KERNEL > fast.
+
+    The kernel is an implementation switch with no simulation-visible
+    effect, which is why it is *not* part of :class:`SystemConfig` (and
+    therefore never perturbs campaign store keys).
+    """
+    if kernel is None:
+        kernel = os.environ.get("REPRO_KERNEL") or "fast"
+    if kernel not in KERNELS:
+        raise ConfigError(
+            f"unknown simulation kernel {kernel!r} (choose from {KERNELS})"
+        )
+    return kernel
 
 
 class ControllerStats:
@@ -100,17 +143,76 @@ class ChannelController:
         config: ControllerConfig,
         scheduler: Scheduler,
         engine,
+        kernel: Optional[str] = None,
     ) -> None:
         self.channel = channel
         self.config = config
         self.scheduler = scheduler
         self.engine = engine
-        self.read_queue: List[Request] = []
-        self.write_queue: List[Request] = []
+        self.kernel = resolve_kernel(kernel)
         self._write_drain = False
         self._next_decision: Optional[int] = None
         self.stats = ControllerStats()
         self._listeners: List[object] = []
+        # Per-bank indexed queues: requests live in their target bank's
+        # bucket (global bank index gb = rank * banks_per_rank + bank).
+        # The scan visits banks, not requests, and CAS removal touches a
+        # short bucket instead of an O(queue) flat-list remove.
+        self._banks_per_rank = len(channel.ranks[0].banks)
+        num_banks = len(channel.ranks) * self._banks_per_rank
+        self._banks_flat = [b for r in channel.ranks for b in r.banks]
+        self._rank_of_gb = [
+            gb // self._banks_per_rank for gb in range(num_banks)
+        ]
+        self._read_by_bank: List[List[Request]] = [[] for _ in range(num_banks)]
+        self._write_by_bank: List[List[Request]] = [[] for _ in range(num_banks)]
+        self._read_count = 0
+        self._write_count = 0
+        # Occupied-bucket index: gb -> None for every non-empty bucket, so
+        # the scan visits only banks that actually hold requests. A dict
+        # (not a set) for its guaranteed O(1) ordered iteration; the scan
+        # result is iteration-order independent (keys embed req_id).
+        self._occ_read: Dict[int, None] = {}
+        self._occ_write: Dict[int, None] = {}
+        # Fast-kernel memo: per bank per direction, the winning
+        # (key, request, kind, bank_ready) — kind is 0=CAS / 1=ACT / 2=PRE
+        # and bank_ready the bank-local horizon for that kind, both
+        # snapshotted at recompute time. An entry stays valid until its
+        # bank is dirtied: enqueue, CAS removal, any command that moves the
+        # bank's horizons or open row (ACT/PRE/CAS on the bank, rank-wide
+        # REFRESH), or an ordering-token change (read side only).
+        self._best_read: List[Optional[Tuple]] = [None] * num_banks
+        self._best_write: List[Optional[Tuple]] = [None] * num_banks
+        self._dirty_read = [True] * num_banks
+        self._dirty_write = [True] * num_banks
+        self._read_token: object = _TOKEN_UNSET
+        self._kind_map_read = (
+            CommandType.READ, CommandType.ACTIVATE, CommandType.PRECHARGE
+        )
+        self._kind_map_write = (
+            CommandType.WRITE, CommandType.ACTIVATE, CommandType.PRECHARGE
+        )
+        # Bound once: _request_decision pushes this on the agenda directly.
+        self._decision_cb = self._on_decision_event
+        # min(next_refresh_due) over ranks, maintained on every REFRESH so
+        # the per-decision "any refresh due?" check is one compare. With
+        # refresh disabled every rank reports a far-future due cycle.
+        self._min_refresh_due = min(r.next_refresh_due for r in channel.ranks)
+        # Wake memo: a non-issuing scan knows, at scan time, exactly which
+        # candidate will win at its own wake-up cycle (all readiness inputs
+        # are controller-local). (generation, wake_cycle, is_write, entry);
+        # valid only while the generation counter is unchanged.
+        self._gen = 0
+        self._wake_memo: Optional[Tuple] = None
+        # Hot-loop constants.
+        self._page_closed = config.page_policy == "closed"
+        self._high_wm = config.write_high_watermark
+        self._low_wm = config.write_low_watermark
+        self._try_issue = (
+            self._try_issue_fast
+            if self.kernel == "fast"
+            else self._try_issue_reference
+        )
         scheduler.attach_controller(self)
         if config.refresh_enabled:
             first_due = min(r.next_refresh_due for r in channel.ranks)
@@ -148,8 +250,8 @@ class ChannelController:
         depth = registry.gauge(
             "repro_ctrl_queue_depth", "Requests queued at collect time"
         )
-        depth.set(len(self.read_queue), channel=channel, queue="read")
-        depth.set(len(self.write_queue), channel=channel, queue="write")
+        depth.set(self._read_count, channel=channel, queue="read")
+        depth.set(self._write_count, channel=channel, queue="write")
         per_thread = registry.counter(
             "repro_ctrl_thread_requests_total",
             "Demand requests served per thread",
@@ -188,45 +290,79 @@ class ChannelController:
                 f"request for channel {request.loc.channel} sent to "
                 f"controller {self.channel.channel_id}"
             )
-        queue = self.write_queue if request.is_write else self.read_queue
-        queue.append(request)
+        gb = request.rank * self._banks_per_rank + request.bank
+        self._gen += 1
+        if request.is_write:
+            self._write_by_bank[gb].append(request)
+            self._write_count += 1
+            self._dirty_write[gb] = True
+            self._occ_write[gb] = None
+        else:
+            self._read_by_bank[gb].append(request)
+            self._read_count += 1
+            self._dirty_read[gb] = True
+            self._occ_read[gb] = None
         self.scheduler.on_arrival(request, now)
         for listener in self._listeners:
             listener.on_arrival(request, now)
         self._request_decision(now)
 
     @property
+    def read_queue(self) -> List[Request]:
+        """All queued reads (materialized; grouped by bank, FIFO within)."""
+        return [r for bucket in self._read_by_bank for r in bucket]
+
+    @property
+    def write_queue(self) -> List[Request]:
+        """All queued writes (materialized; grouped by bank, FIFO within)."""
+        return [r for bucket in self._write_by_bank for r in bucket]
+
+    @property
     def pending_requests(self) -> int:
         """Requests currently queued (both directions)."""
-        return len(self.read_queue) + len(self.write_queue)
+        return self._read_count + self._write_count
 
     # ------------------------------------------------------------------
     # Decision scheduling (stale-event pattern on the shared engine).
     # ------------------------------------------------------------------
     def _request_decision(self, cycle: int) -> None:
-        if self._next_decision is not None and self._next_decision <= cycle:
+        next_decision = self._next_decision
+        if next_decision is not None and next_decision <= cycle:
             return
         self._next_decision = cycle
-        self.engine.schedule(cycle, self._on_decision_event)
-
-    def _on_decision_event(self, now: int) -> None:
-        if self._next_decision != now:
-            return  # superseded by an earlier decision request
-        self._next_decision = None
-        self._decide(now)
+        # Direct agenda push: engine.schedule minus the call and its
+        # past-guard. Every caller passes cycle >= now by construction
+        # (enqueue and post-issue wake-ups pass now or later; refresh
+        # wake-ups are only requested when the due cycle is ahead), and
+        # the differential grid pins the resulting event order.
+        engine = self.engine
+        heappush(
+            engine._agenda,
+            (cycle, next(engine._sequence), self._decision_cb),
+        )
 
     # ------------------------------------------------------------------
     # The decision: issue at most one command at `now`.
     # ------------------------------------------------------------------
-    def _decide(self, now: int) -> None:
-        self._update_drain_mode()
+    def _on_decision_event(self, now: int) -> None:
+        if self._next_decision != now:
+            return  # superseded by an earlier decision request
+        self._next_decision = None
+        # Write-drain hysteresis between the two watermarks.
+        writes = self._write_count
+        if self._write_drain:
+            if writes <= self._low_wm or not writes:
+                self._write_drain = False
+        elif writes >= self._high_wm:
+            self._write_drain = True
         issued, next_event = self._try_issue(now)
         if issued:
-            refresh_pending = any(
-                r.refresh_pending(now) for r in self.channel.ranks
+            more_work = (
+                self._read_count
+                or self._write_count
+                or now >= self._min_refresh_due
             )
-            more_work = self.pending_requests or refresh_pending
-            if not more_work and self.config.page_policy == "closed":
+            if not more_work and self._page_closed:
                 # Stay awake to close rows left open by the last requests.
                 more_work = any(
                     rank.open_row_count() for rank in self.channel.ranks
@@ -243,25 +379,17 @@ class ChannelController:
     def _schedule_refresh_wake(self) -> None:
         if not self.config.refresh_enabled:
             return
-        due = min(r.next_refresh_due for r in self.channel.ranks)
-        self._request_decision(due)
+        self._request_decision(self._min_refresh_due)
 
-    def _update_drain_mode(self) -> None:
-        writes = len(self.write_queue)
-        if not self._write_drain and writes >= self.config.write_high_watermark:
-            self._write_drain = True
-        elif self._write_drain and (
-            writes <= self.config.write_low_watermark or not self.write_queue
-        ):
-            self._write_drain = False
-
-    def _try_issue(self, now: int) -> Tuple[bool, int]:
+    # ------------------------------------------------------------------
+    # Reference kernel: full rescan per decision.
+    # ------------------------------------------------------------------
+    def _try_issue_reference(self, now: int) -> Tuple[bool, int]:
         """Issue the best legal command at ``now``; returns (issued, next_t)."""
         next_event = _FAR_FUTURE
+        ranks = self.channel.ranks
         # 1. Refresh has absolute priority on its rank.
-        refresh_ranks = [
-            r for r in self.channel.ranks if r.refresh_pending(now)
-        ]
+        refresh_ranks = [r for r in ranks if now >= r.next_refresh_due]
         for rank in refresh_ranks:
             issued, ready = self._progress_refresh(rank, now)
             if issued:
@@ -270,64 +398,67 @@ class ChannelController:
         blocked_ranks = {r.rank_id for r in refresh_ranks}
         # 2. Pick the active queue.
         if self._write_drain:
-            active, is_write = self.write_queue, True
-        elif self.read_queue:
-            active, is_write = self.read_queue, False
-        elif self.write_queue:
-            active, is_write = self.write_queue, True
+            buckets, is_write = self._write_by_bank, True
+        elif self._read_count:
+            buckets, is_write = self._read_by_bank, False
+        elif self._write_count:
+            buckets, is_write = self._write_by_bank, True
         else:
-            if self.config.page_policy == "closed":
+            if self._page_closed:
                 issued, ready = self._close_stale_rows(now, blocked_ranks)
                 if issued:
                     return True, _FAR_FUTURE
                 next_event = min(next_event, ready)
             return False, next_event
-        # 3. Best request per bank under the scheduler's ordering. This is
-        # the simulator's hottest loop: thread-level schedulers expose a
-        # per-thread priority prefix so key() need not run per request.
-        best_per_bank: Dict[Tuple, Tuple] = {}
-        ranks = self.channel.ranks
+        # 3. Best request per bank under the scheduler's ordering, then the
+        # best issuable candidate among the per-bank bests. Thread-level
+        # schedulers expose a per-thread priority prefix so key() need not
+        # run per request. Keys embed req_id, so the per-bank minimum (and
+        # the global choice) is independent of scan order.
         scheduler = self.scheduler
+        banks_flat = self._banks_flat
+        rank_of = self._rank_of_gb
         prefixes: Dict[int, Optional[Tuple]] = {}
-        for request in active:
-            rank_id = request.rank
+        best_choice = None
+        for gb, bucket in enumerate(buckets):
+            if not bucket:
+                continue
+            rank_id = rank_of[gb]
             if rank_id in blocked_ranks:
                 continue
-            bank = ranks[rank_id].banks[request.bank]
-            row_hit = bank.open_row == request.row
-            if is_write:
-                # Writes drain row-hit-first regardless of policy.
-                key = (0 if row_hit else 1, request.arrival, request.req_id)
-            else:
-                thread_id = request.thread_id
-                if thread_id in prefixes:
-                    prefix = prefixes[thread_id]
+            open_row = banks_flat[gb].open_row
+            best = None
+            for request in bucket:
+                row_hit = open_row == request.row
+                if is_write:
+                    # Writes drain row-hit-first regardless of policy.
+                    key = (0 if row_hit else 1, request.arrival, request.req_id)
                 else:
-                    prefix = scheduler.thread_priority(thread_id, now)
-                    prefixes[thread_id] = prefix
-                if prefix is None:
-                    key = scheduler.key(request, row_hit, now)
-                else:
-                    key = prefix + (
-                        0 if row_hit else 1,
-                        request.arrival,
-                        request.req_id,
-                    )
-            bank_key = (rank_id, request.bank)
-            slot = best_per_bank.get(bank_key)
-            if slot is None or key < slot[0]:
-                best_per_bank[bank_key] = (key, request, row_hit)
-        # 4. Among per-bank candidates, find the best one issuable now.
-        best_choice = None
-        for key, request, row_hit in best_per_bank.values():
+                    thread_id = request.thread_id
+                    if thread_id in prefixes:
+                        prefix = prefixes[thread_id]
+                    else:
+                        prefix = scheduler.thread_priority(thread_id, now)
+                        prefixes[thread_id] = prefix
+                    if prefix is None:
+                        key = scheduler.key(request, row_hit, now)
+                    else:
+                        key = prefix + (
+                            0 if row_hit else 1,
+                            request.arrival,
+                            request.req_id,
+                        )
+                if best is None or key < best[0]:
+                    best = (key, request, row_hit)
+            key, request, row_hit = best
             command, ready = self._next_command_for(request, row_hit, now)
             if ready <= now:
                 if best_choice is None or key < best_choice[0]:
                     best_choice = (key, request, command, row_hit)
-            else:
-                next_event = min(next_event, ready)
+            elif ready < next_event:
+                next_event = ready
         if best_choice is None:
-            if self.config.page_policy == "closed":
+            if self._page_closed:
                 issued, ready = self._close_stale_rows(now, blocked_ranks)
                 if issued:
                     return True, _FAR_FUTURE
@@ -337,38 +468,257 @@ class ChannelController:
         self._issue_command(request, command, now, is_write)
         return True, _FAR_FUTURE
 
+    # ------------------------------------------------------------------
+    # Fast kernel: memoized per-bank bests + per-rank timing floors.
+    # ------------------------------------------------------------------
+    def _try_issue_fast(self, now: int) -> Tuple[bool, int]:
+        """Bit-identical fast path of :meth:`_try_issue_reference`."""
+        memo = self._wake_memo
+        if memo is not None:
+            self._wake_memo = None
+            # A non-issuing scan precomputed its wake-up's winner; it holds
+            # if nothing touched this controller since (generation), the
+            # wake fires at the predicted cycle, no refresh came due, and
+            # the scheduler ordering is unchanged (write keys are static;
+            # read keys are pinned by the token).
+            if (
+                memo[0] == self._gen
+                and memo[1] == now
+                and now < self._min_refresh_due
+                and (
+                    memo[2]
+                    or self.scheduler.ordering_token(now) == memo[3]
+                )
+            ):
+                entry = memo[4]
+                is_write = memo[2]
+                kind_map = (
+                    self._kind_map_write if is_write else self._kind_map_read
+                )
+                self._issue_command(
+                    entry[1], kind_map[entry[2]], now, is_write
+                )
+                return True, _FAR_FUTURE
+        next_event = _FAR_FUTURE
+        channel = self.channel
+        ranks = channel.ranks
+        blocked_ranks: Tuple[int, ...] = ()
+        if now >= self._min_refresh_due:
+            for rank in ranks:
+                if now >= rank.next_refresh_due:
+                    issued, ready = self._progress_refresh(rank, now)
+                    if issued:
+                        return True, _FAR_FUTURE
+                    if ready < next_event:
+                        next_event = ready
+                    blocked_ranks += (rank.rank_id,)
+        if self._write_drain:
+            is_write = True
+        elif self._read_count:
+            is_write = False
+        elif self._write_count:
+            is_write = True
+        else:
+            if self._page_closed:
+                issued, ready = self._close_stale_rows(now, blocked_ranks)
+                if issued:
+                    return True, _FAR_FUTURE
+                if ready < next_event:
+                    next_event = ready
+            return False, next_event
+        scheduler = self.scheduler
+        if is_write:
+            occupied = self._occ_write
+            buckets = self._write_by_bank
+            best_cache = self._best_write
+            dirty = self._dirty_write
+            refresh_token = False
+        else:
+            occupied = self._occ_read
+            buckets = self._read_by_bank
+            best_cache = self._best_read
+            dirty = self._dirty_read
+            token = scheduler.ordering_token(now)
+            refresh_token = token is None or token != self._read_token
+            if refresh_token:
+                # Only occupied buckets matter: empty ones are re-dirtied
+                # by the enqueue that repopulates them.
+                for gb in occupied:
+                    dirty[gb] = True
+        banks_flat = self._banks_flat
+        rank_of = self._rank_of_gb
+        cas_floors: List[Optional[int]] = [None] * len(ranks)
+        cmd_free = channel._next_cmd_free
+        prefixes: Optional[Dict[int, Optional[Tuple]]] = None
+        best_choice = None
+        wake_best = None
+        check_blocked = bool(blocked_ranks)
+        for gb in occupied:
+            rank_id = rank_of[gb]
+            if check_blocked and rank_id in blocked_ranks:
+                continue
+            if dirty[gb]:
+                bank = banks_flat[gb]
+                open_row = bank.open_row
+                best_key = None
+                best_req = None
+                if is_write:
+                    for request in buckets[gb]:
+                        key = (
+                            0 if open_row == request.row else 1,
+                            request.arrival,
+                            request.req_id,
+                        )
+                        if best_key is None or key < best_key:
+                            best_key = key
+                            best_req = request
+                else:
+                    if prefixes is None:
+                        prefixes = {}
+                    for request in buckets[gb]:
+                        row_hit = open_row == request.row
+                        thread_id = request.thread_id
+                        if thread_id in prefixes:
+                            prefix = prefixes[thread_id]
+                        else:
+                            prefix = scheduler.thread_priority(thread_id, now)
+                            prefixes[thread_id] = prefix
+                        if prefix is None:
+                            key = scheduler.key(request, row_hit, now)
+                        else:
+                            key = prefix + (
+                                0 if row_hit else 1,
+                                request.arrival,
+                                request.req_id,
+                            )
+                        if best_key is None or key < best_key:
+                            best_key = key
+                            best_req = request
+                # Snapshot the next command kind and the bank-local part
+                # of its readiness; valid until this bank is dirtied.
+                if open_row == best_req.row:
+                    kind = 0
+                    bready = (
+                        bank.earliest_write if is_write else bank.earliest_read
+                    )
+                elif open_row is None:
+                    kind = 1
+                    bready = bank.earliest_activate
+                else:
+                    kind = 2
+                    bready = bank.earliest_precharge
+                entry = (best_key, best_req, kind, bready)
+                best_cache[gb] = entry
+                dirty[gb] = False
+            else:
+                entry = best_cache[gb]
+                kind = entry[2]
+                bready = entry[3]
+            # Readiness: cached bank horizon against the live shared
+            # floors (command bus, rank ACT window, CAS bus/turnaround).
+            if kind == 0:
+                ready = cas_floors[rank_id]
+                if ready is None:
+                    ready = channel.cas_floor(rank_id, is_write)
+                    cas_floors[rank_id] = ready
+                if bready > ready:
+                    ready = bready
+            elif kind == 1:
+                ready = ranks[rank_id]._act_ready
+                if bready > ready:
+                    ready = bready
+                if cmd_free > ready:
+                    ready = cmd_free
+            else:
+                ready = bready if bready > cmd_free else cmd_free
+            if ready <= now:
+                if best_choice is None or entry[0] < best_choice[0]:
+                    best_choice = entry
+            elif ready < next_event:
+                next_event = ready
+                wake_best = entry
+            elif (
+                ready == next_event
+                and wake_best is not None
+                and entry[0] < wake_best[0]
+            ):
+                wake_best = entry
+        if not is_write and refresh_token:
+            # Re-read after the scan: key() may have mutated lazy scheduler
+            # state (e.g. PAR-BS batch formation), and the cached bests
+            # reflect the post-mutation ordering.
+            self._read_token = scheduler.ordering_token(now)
+        if best_choice is None:
+            if self._page_closed:
+                issued, ready = self._close_stale_rows(now, blocked_ranks)
+                if issued:
+                    return True, _FAR_FUTURE
+                if ready < next_event:
+                    next_event = ready
+            elif (
+                wake_best is not None
+                and not check_blocked
+                and (is_write or self._read_token is not None)
+            ):
+                # All of next_event's inputs are controller-local, so the
+                # winner at the wake-up cycle is already decided — unless
+                # an enqueue, command, refresh, or token change intervenes
+                # (each checked on the wake side).
+                self._wake_memo = (
+                    self._gen,
+                    next_event,
+                    is_write,
+                    None if is_write else self._read_token,
+                    wake_best,
+                )
+            return False, next_event
+        kind_map = self._kind_map_write if is_write else self._kind_map_read
+        self._issue_command(
+            best_choice[1], kind_map[best_choice[2]], now, is_write
+        )
+        return True, _FAR_FUTURE
+
     def _close_stale_rows(self, now: int, blocked_ranks) -> Tuple[bool, int]:
         """Closed-page policy: precharge open banks no queued request wants.
 
         Real work always takes priority — this only runs when nothing else
         was issuable this cycle.
         """
-        wanted: Dict[Tuple, set] = {}
-        for request in self.read_queue:
-            wanted.setdefault(request.bank_key, set()).add(request.loc.row)
-        for request in self.write_queue:
-            wanted.setdefault(request.bank_key, set()).add(request.loc.row)
         ready = _FAR_FUTURE
+        reads = self._read_by_bank
+        writes = self._write_by_bank
+        nb = self._banks_per_rank
         for rank in self.channel.ranks:
-            if rank.rank_id in blocked_ranks:
+            rank_id = rank.rank_id
+            if rank_id in blocked_ranks:
                 continue
-            for bank_id, open_row in self.channel.open_banks(rank.rank_id):
-                key = (self.channel.channel_id, rank.rank_id, bank_id)
-                if open_row in wanted.get(key, ()):  # still useful
+            base = rank_id * nb
+            for bank in rank.banks:
+                open_row = bank.open_row
+                if open_row is None:
                     continue
-                t = self.channel.earliest_precharge(rank.rank_id, bank_id)
+                gb = base + bank.bank_id
+                if any(r.row == open_row for r in reads[gb]) or any(
+                    r.row == open_row for r in writes[gb]
+                ):
+                    continue  # still useful
+                t = self.channel.earliest_precharge(rank_id, bank.bank_id)
                 if t <= now:
                     self.channel.issue(
                         Command(
                             cycle=now,
                             kind=CommandType.PRECHARGE,
                             channel=self.channel.channel_id,
-                            rank=rank.rank_id,
-                            bank=bank_id,
+                            rank=rank_id,
+                            bank=bank.bank_id,
                         )
                     )
+                    self._gen += 1
+                    self._dirty_read[gb] = True
+                    self._dirty_write[gb] = True
                     return True, _FAR_FUTURE
-                ready = min(ready, t)
+                if t < ready:
+                    ready = t
         return False, ready
 
     def _next_command_for(
@@ -401,14 +751,36 @@ class ChannelController:
             thread_id=request.thread_id,
         )
         result = self.channel.issue(command)
+        self._gen += 1
+        gb = request.rank * self._banks_per_rank + request.bank
         if kind is CommandType.ACTIVATE:
             request.needed_activate = True
+            # The open row changed: cached row-hit bits are stale in both
+            # directions.
+            self._dirty_read[gb] = True
+            self._dirty_write[gb] = True
             return
         if kind is CommandType.PRECHARGE:
+            self._dirty_read[gb] = True
+            self._dirty_write[gb] = True
             return
-        # CAS: the request is served.
-        queue = self.write_queue if is_write else self.read_queue
-        queue.remove(request)
+        # CAS: the request is served. The CAS also moves the bank's
+        # precharge horizon (tRTP / tWR), so cached entries go stale in
+        # *both* directions, not just the bucket the request left.
+        self._dirty_read[gb] = True
+        self._dirty_write[gb] = True
+        if is_write:
+            bucket = self._write_by_bank[gb]
+            bucket.remove(request)
+            self._write_count -= 1
+            if not bucket:
+                del self._occ_write[gb]
+        else:
+            bucket = self._read_by_bank[gb]
+            bucket.remove(request)
+            self._read_count -= 1
+            if not bucket:
+                del self._occ_read[gb]
         request.served_at = now
         row_hit = not request.needed_activate
         self.stats.record_cas(
@@ -439,6 +811,10 @@ class ChannelController:
                             bank=bank_id,
                         )
                     )
+                    gb = rank.rank_id * self._banks_per_rank + bank_id
+                    self._gen += 1
+                    self._dirty_read[gb] = True
+                    self._dirty_write[gb] = True
                     return True, _FAR_FUTURE
                 ready = min(ready, t)
             return False, ready
@@ -452,6 +828,19 @@ class ChannelController:
                     rank=rank.rank_id,
                     bank=-1,
                 )
+            )
+            # The rank-wide REFRESH pushed every bank horizon
+            # (block_until), so the cached bank_ready snapshots for this
+            # rank are stale in both directions.
+            self._gen += 1
+            base = rank.rank_id * self._banks_per_rank
+            dirty_read = self._dirty_read
+            dirty_write = self._dirty_write
+            for gb in range(base, base + self._banks_per_rank):
+                dirty_read[gb] = True
+                dirty_write[gb] = True
+            self._min_refresh_due = min(
+                r.next_refresh_due for r in self.channel.ranks
             )
             return True, _FAR_FUTURE
         return False, ready

@@ -28,6 +28,7 @@ class Request:
         "rank",
         "bank",
         "row",
+        "bank_key",
         "arrival",
         "on_complete",
         "is_migration",
@@ -55,16 +56,14 @@ class Request:
         self.rank = loc.rank
         self.bank = loc.bank
         self.row = loc.row
+        # (channel, rank, bank), precomputed: the runtime profiler reads it
+        # on every arrival and every served CAS.
+        self.bank_key = (loc.channel, loc.rank, loc.bank)
         self.arrival = arrival
         self.on_complete = on_complete
         self.is_migration = is_migration
         self.needed_activate = False  # set if an ACT was issued for it
         self.served_at: Optional[int] = None
-
-    @property
-    def bank_key(self) -> tuple:
-        """(channel, rank, bank) the request targets."""
-        return self.loc.bank_key
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "W" if self.is_write else "R"

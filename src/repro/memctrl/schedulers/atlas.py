@@ -45,6 +45,9 @@ class ATLASScheduler(Scheduler):
     def thread_priority(self, thread_id: int, now: int) -> Tuple:
         return (self._rank.get(thread_id, self.num_threads),)
 
+    def ordering_token(self, now: int) -> Tuple:
+        return (self.stat_quanta,)  # ranks change only at quantum ends
+
     def on_served(self, request: Request, now: int) -> None:
         if request.is_migration:
             return

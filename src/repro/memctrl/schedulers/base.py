@@ -84,6 +84,23 @@ class Scheduler(abc.ABC):
         """
         return None
 
+    def ordering_token(self, now: int) -> Optional[Tuple]:
+        """Cache-invalidation token for the controller's per-bank best cache.
+
+        Contract: as long as the token compares equal, :meth:`key` (and
+        :meth:`thread_priority`) must be a pure function of
+        ``(request, row_hit)`` — the controller's fast kernel then reuses a
+        bank's cached best request instead of rescanning its queue every
+        decision. Any state change that can reorder requests (a quantum
+        rank update, a blacklist change, a batch re-formation, a shuffle
+        slot boundary) must change the token *at or before* the cycle the
+        new ordering takes effect.
+
+        Return None (the default) to disable caching: the controller then
+        rescans every decision, exactly like the reference kernel.
+        """
+        return None
+
     # ------------------------------------------------------------------
     # Optional hooks.
     # ------------------------------------------------------------------

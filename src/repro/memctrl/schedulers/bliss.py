@@ -53,6 +53,13 @@ class BLISSScheduler(Scheduler):
         self._maybe_clear(now)
         return (1 if thread_id in self._blacklist else 0,)
 
+    def ordering_token(self, now: int) -> Tuple:
+        # The blacklist changes only when a thread is added (counted by
+        # stat_blacklistings) or at a clearing-interval boundary (the slot
+        # term — the clear itself always happens in the same slot the
+        # boundary is crossed, whichever code path performs it first).
+        return (now // self.clearing_interval, self.stat_blacklistings)
+
     def on_served(self, request: Request, now: int) -> None:
         if request.is_migration:
             return

@@ -20,3 +20,6 @@ class FCFSScheduler(Scheduler):
 
     def key(self, request: Request, row_hit: bool, now: int) -> Tuple:
         return (request.arrival, request.req_id)
+
+    def ordering_token(self, now: int) -> Tuple:
+        return ()  # arrival order never changes

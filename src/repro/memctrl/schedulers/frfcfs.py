@@ -24,3 +24,6 @@ class FRFCFSScheduler(Scheduler):
 
     def thread_priority(self, thread_id: int, now: int) -> Tuple:
         return ()  # thread-oblivious: row hit then age, for everyone
+
+    def ordering_token(self, now: int) -> Tuple:
+        return ()  # stateless: keys depend only on the request and row

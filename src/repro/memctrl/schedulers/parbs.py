@@ -39,6 +39,13 @@ class PARBSScheduler(Scheduler):
     def on_served(self, request: Request, now: int) -> None:
         self._marked.discard(request.req_id)
 
+    def ordering_token(self, now: int) -> Tuple:
+        # Keys change only when a new batch is formed. The emptiness term
+        # flips when the current batch drains, which forces the controller
+        # to call key() again — and that call lazily forms the next batch
+        # at exactly the cycle the reference scan would.
+        return (self.stat_batches, not self._marked)
+
     def telemetry_state(self) -> Dict[str, object]:
         return {
             "batches": self.stat_batches,

@@ -66,6 +66,15 @@ class TCMScheduler(Scheduler):
             return (0, self._latency_rank[thread_id])
         return (1, self._bw_rank.get(thread_id, self.num_threads))
 
+    def ordering_token(self, now: int) -> Tuple:
+        # Priorities change at quantum ends and at shuffle-slot boundaries.
+        # Including the slot forces the controller to re-query
+        # thread_priority there, which applies the lazy shuffle at exactly
+        # the cycles the reference scan would.
+        if self.shuffle_interval > 0:
+            return (self.stat_quanta, now // self.shuffle_interval)
+        return (self.stat_quanta,)
+
     # ------------------------------------------------------------------
     def on_quantum(self, snapshot: ProfileSnapshot) -> None:
         profiles = [snapshot.profile(t) for t in range(self.num_threads)]

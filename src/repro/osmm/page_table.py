@@ -30,6 +30,7 @@ class PageTable:
         self._frame_to_vpage: Dict[int, int] = {}
         self._access_counts: Dict[int, int] = {}
         self._page_line_bits = address_map.page_line_bits
+        self._offset_mask = (1 << self._page_line_bits) - 1
         self.stat_faults = 0
 
     # ------------------------------------------------------------------
@@ -39,16 +40,19 @@ class PageTable:
         Returns the physical cache-line address. First touch allocates a
         frame within the thread's current color/channel constraints.
         """
-        vpage = virtual_line >> self._page_line_bits
+        bits = self._page_line_bits
+        vpage = virtual_line >> bits
         frame = self._vpage_to_frame.get(vpage)
         if frame is None:
             frame = self.allocator.allocate(self.thread_id)
             self._vpage_to_frame[vpage] = frame
             self._frame_to_vpage[frame] = vpage
             self.stat_faults += 1
-        self._access_counts[vpage] = self._access_counts.get(vpage, 0) + 1
-        offset = virtual_line & ((1 << self._page_line_bits) - 1)
-        return self.address_map.line_in_frame(frame, offset)
+        counts = self._access_counts
+        counts[vpage] = counts.get(vpage, 0) + 1
+        # Inline of AddressMap.line_in_frame: the masked offset is in range
+        # by construction, so the per-access bounds check adds nothing.
+        return (frame << bits) | (virtual_line & self._offset_mask)
 
     # ------------------------------------------------------------------
     def remap(self, vpage: int, new_frame: int) -> int:

@@ -90,6 +90,7 @@ class Runner:
         telemetry: Optional[TelemetryConfig] = None,
         profile: bool = False,
         trace_source: Optional[TraceSource] = None,
+        kernel: Optional[str] = None,
     ) -> None:
         self.config = config if config is not None else SystemConfig()
         if horizon <= 0:
@@ -118,6 +119,12 @@ class Runner:
         #: :attr:`last_profile` and on ``RunResult.profile``.
         self.profile = profile
         self.last_profile: Optional[Dict[str, object]] = None
+        #: Controller hot-loop implementation ("fast" or "reference");
+        #: ``None`` defers to ``REPRO_KERNEL`` / the repo default. The two
+        #: kernels are bit-identical by contract (pinned by the kernel
+        #: equivalence grid), so this deliberately does NOT enter run-cache
+        #: or store keys — switching kernels must never fork result sets.
+        self.kernel = kernel
         #: Where app names resolve to traces: the default source serves
         #: synthetic profiles and registered library traces alike (see
         #: :mod:`repro.traces.source`).
@@ -177,6 +184,7 @@ class Runner:
                 horizon=self.horizon,
                 validate=self.validate,
                 ahead_limit=self.ahead_limit,
+                kernel=self.kernel,
             )
             result = system.run()
             ipc = result.threads[0].ipc
@@ -282,6 +290,7 @@ class Runner:
             ahead_limit=self.ahead_limit,
             telemetry=recorder,
             profile=self.profile,
+            kernel=self.kernel,
         )
         result = system.run()
         self.last_telemetry = recorder
@@ -366,6 +375,7 @@ class Runner:
             ahead_limit=self.ahead_limit,
             telemetry=recorder,
             profile=self.profile,
+            kernel=self.kernel,
         )
         result = system.run()
         self.last_telemetry = recorder

@@ -10,6 +10,7 @@ builds many.
 
 from __future__ import annotations
 
+import gc
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
@@ -26,7 +27,7 @@ from ..dram.channel import Channel
 from ..dram.validator import ProtocolValidator
 from ..errors import ConfigError, SimulationError
 from ..mapping import AddressMap
-from ..memctrl.controller import ChannelController
+from ..memctrl.controller import ChannelController, resolve_kernel
 from ..memctrl.request import Request
 from ..memctrl.schedulers import make_scheduler
 from ..osmm import ColorAwareAllocator, MigrationEngine, MigrationPlan, PageTable
@@ -87,6 +88,7 @@ class System:
         profile: bool = False,
         policy_epoch_offset: Optional[int] = None,
         quantum_offset: Optional[int] = None,
+        kernel: Optional[str] = None,
     ) -> None:
         if len(traces) != config.num_cores:
             raise SimulationError(
@@ -97,6 +99,11 @@ class System:
         self.horizon = horizon
         self.policy = policy if policy is not None else SharedPolicy()
         self.validate = validate
+        # The simulation kernel is an implementation switch, not part of
+        # SystemConfig: both kernels are bit-identical by contract (see
+        # tests/test_kernel_equivalence.py), so it must not perturb
+        # campaign store keys derived from the config.
+        self.kernel = resolve_kernel(kernel)
         # Wall-clock profiler (distinct from self.profiler, the in-sim
         # ThreadProfiler measuring MPKI/RBH/BLP).
         self.sim_profiler = SimProfiler() if profile else None
@@ -143,7 +150,11 @@ class System:
             if validate:
                 channel.enable_logging()
             controller = ChannelController(
-                channel, config.controller, self.scheduler, self.engine
+                channel,
+                config.controller,
+                self.scheduler,
+                self.engine,
+                kernel=self.kernel,
             )
             self.channels.append(channel)
             self.controllers.append(controller)
@@ -158,6 +169,17 @@ class System:
         # Physical lines a prefetch is currently fetching, each with the
         # demand completions waiting on the fill.
         self._prefetch_inflight: Dict[int, list] = {}
+        # Hoisted config constants and per-thread bound methods for the
+        # per-access hot path (thread ids are dense 0..n-1).
+        self._hit_latency = self.config.cache.hit_latency
+        self._prefetch_enabled = self.config.prefetcher.enabled
+        self._translate = [
+            self.page_tables[t].translate_line
+            for t in range(config.num_cores)
+        ]
+        self._cache_access = [
+            self.caches[t].access for t in range(config.num_cores)
+        ]
         self.cores: List[Core] = [
             Core(
                 core_id=t,
@@ -276,16 +298,16 @@ class System:
         at: int,
         on_complete: Optional[Callable[[int], None]],
     ) -> Optional[int]:
-        pline = self.page_tables[thread_id].translate_line(vline)
-        if self.config.prefetcher.enabled:
+        pline = self._translate[thread_id](vline)
+        if self._prefetch_enabled:
             self._maybe_prefetch(thread_id, vline, pline, at)
-        result = self.caches[thread_id].access(pline, is_write)
-        hit_latency = self.config.cache.hit_latency
-        in_flight = self._prefetch_inflight.get(pline)
+        result = self._cache_access[thread_id](pline, is_write)
+        hit_latency = self._hit_latency
         if result.hit:
             if is_write:
                 return None
             return at + hit_latency
+        in_flight = self._prefetch_inflight.get(pline)
         if in_flight is not None:
             # A prefetch already fetched this line: piggyback on its fill
             # instead of issuing a duplicate DRAM request.
@@ -358,17 +380,12 @@ class System:
     ) -> None:
         loc = self.address_map.decompose_line(pline)
         request = Request(
-            thread_id=thread_id,
-            is_write=is_write,
-            line_addr=pline,
-            loc=loc,
-            arrival=at,
-            on_complete=on_complete,
-            is_migration=is_migration,
+            thread_id, is_write, pline, loc, at, on_complete, is_migration
         )
         controller = self.controllers[loc.channel]
-        if at <= self.engine.now:
-            controller.enqueue(request, self.engine.now)
+        now = self.engine.now
+        if at <= now:
+            controller.enqueue(request, now)
         else:
             self.engine.schedule(
                 at, lambda cycle, r=request, c=controller: c.enqueue(r, cycle)
@@ -415,7 +432,17 @@ class System:
         first = self._next_boundary()
         if first is not None and first < self.horizon:
             self.engine.schedule(first, self._on_epoch)
-        self.engine.run()
+        # The event loop allocates heavily (keys, commands, events) but the
+        # objects are overwhelmingly acyclic and die by refcount; cyclic-gc
+        # passes over the live heap are pure overhead at this allocation
+        # rate, so collection is paused for the duration of the run.
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            self.engine.run()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         if start is not None:
             self._wall_seconds = time.perf_counter() - start
         if self.telemetry is not None:
@@ -499,6 +526,8 @@ class System:
 
     def _collect(self) -> SystemResult:
         result = SystemResult(horizon=self.horizon)
+        for core in self.cores:
+            core.finalize()
         for thread_id, core in enumerate(self.cores):
             ipc = core.ipc()
             reads = writes = hits = latency = 0

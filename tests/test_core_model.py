@@ -172,3 +172,89 @@ class TestIssueOrdering:
         vlines = [v for (_, v, _) in port.accesses]
         expected = [100 + i % 500 for i in range(len(vlines))]
         assert vlines == expected
+
+
+class TestMidRunProbe:
+    """Regression: ipc() used to freeze retirement counters when called
+    mid-run (an epoch-boundary probe corrupted the rest of the run)."""
+
+    def test_mid_run_ipc_probe_does_not_change_results(self):
+        trace = uniform_trace(400, 10)
+
+        def run(probe_cycles):
+            engine = Engine(10_000)
+            port = RecordingPort(engine, latency=20)
+            core = Core(
+                core_id=0,
+                config=CoreConfig(width=4, rob_size=64, mshrs=8),
+                trace=trace,
+                port=port,
+                scheduler=engine,
+                horizon=10_000,
+                ahead_limit=2048,
+            )
+            probes = []
+            for cycle in probe_cycles:
+                engine.schedule(cycle, lambda c: probes.append(core.ipc()))
+            core.start()
+            engine.run()
+            core.finalize()
+            return core, probes
+
+        clean, _ = run([])
+        probed, probes = run([1_000, 2_500, 5_000, 7_500])
+        assert probed.stats.retired_insts == clean.stats.retired_insts
+        assert probed.stats.reads_issued == clean.stats.reads_issued
+        assert probed.ipc() == clean.ipc()
+        # The probe itself sees monotone non-decreasing progress.
+        assert probes == sorted(probes)
+        assert probes[-1] > 0.0
+
+    def test_ipc_before_finalize_reflects_progress(self):
+        trace = uniform_trace(400, 10)
+        engine = Engine(10_000)
+        port = RecordingPort(engine, latency=20)
+        core = Core(
+            core_id=0,
+            config=CoreConfig(width=4, rob_size=64, mshrs=8),
+            trace=trace,
+            port=port,
+            scheduler=engine,
+            horizon=10_000,
+            ahead_limit=2048,
+        )
+        core.start()
+        engine.run(until=2_000)
+        mid = core.ipc()
+        assert not core.stats.finished  # the probe must not finalize
+        engine.run()
+        core.finalize()
+        assert core.stats.finished
+        assert core.ipc() >= mid > 0.0
+
+
+class TestHorizonEdge:
+    """Pin the fencepost at the run bound: an engine event scheduled
+    exactly at ``horizon`` does not run, so a read completing exactly at
+    the horizon earns no retirement credit, while one cycle earlier
+    retires the record's gap instructions (but not the read itself,
+    which would retire at completion+1 == horizon)."""
+
+    def _single_read(self, latency, horizon=100):
+        trace = Trace("e", [TraceRecord(7, 100, False)])
+        core, port = run_core(
+            trace, horizon=horizon, latency=latency,
+            config=CoreConfig(width=4, rob_size=64, mshrs=8),
+        )
+        core.finalize()
+        return core, port
+
+    def test_read_completing_at_horizon_gets_no_credit(self):
+        core, _ = self._single_read(latency=100)
+        assert core.stats.retired_insts == 0
+
+    def test_read_completing_just_before_horizon_retires_gap(self):
+        core, _ = self._single_read(latency=99)
+        # The 7 gap instructions retire by the horizon; the read itself
+        # would retire at completion+1 == horizon, which is out of bounds.
+        assert core.stats.retired_insts == 7

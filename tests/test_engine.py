@@ -1,9 +1,11 @@
 """Discrete-event engine tests."""
 
+import functools
+
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.engine import Engine
+from repro.sim.engine import Engine, SimProfiler
 
 
 class TestOrdering:
@@ -72,6 +74,26 @@ class TestBounds:
         engine.run()
         assert fired == []
 
+    def test_event_at_bound_stays_pending(self):
+        # The at-bound event is deferred, not dropped: a later run with a
+        # larger bound must still deliver it at its original cycle.
+        engine = Engine()
+        fired = []
+        engine.schedule(100, lambda c: fired.append(c))
+        engine.run(until=100)
+        assert fired == []
+        assert engine.pending_events() == 1
+        engine.run(until=101)
+        assert fired == [100]
+
+    def test_event_just_before_bound_runs(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(99, lambda c: fired.append(c))
+        engine.run(until=100)
+        assert fired == [99]
+        assert engine.now == 100
+
 
 class TestErrors:
     def test_scheduling_in_past_rejected(self):
@@ -108,3 +130,62 @@ class TestErrors:
             engine.schedule(i, lambda c: None)
         engine.run()
         assert engine.stat_events == 5
+
+    def test_run_rewind_rejected(self):
+        # Regression: run(until=<past>) used to silently move self._now
+        # backwards, so every timestamp taken afterwards — request
+        # arrivals, epoch boundaries — was corrupted. It must raise.
+        engine = Engine()
+        engine.schedule(40, lambda c: None)
+        engine.run(until=50)
+        assert engine.now == 50
+        with pytest.raises(SimulationError, match="rewind"):
+            engine.run(until=20)
+        # The failed call must not have moved time.
+        assert engine.now == 50
+
+    def test_run_to_current_time_is_noop(self):
+        engine = Engine()
+        engine.schedule(40, lambda c: None)
+        engine.run(until=50)
+        engine.run(until=50)  # not a rewind; nothing to do
+        assert engine.now == 50
+
+
+class TestProfiledRun:
+    def test_profiled_loop_semantics_match_plain(self):
+        # The profiled loop is a duplicate of the plain one; it must make
+        # identical dispatch decisions (order, bound handling, counters).
+        def drive(engine):
+            fired = []
+            engine.schedule(10, lambda c: fired.append(("a", c)))
+            engine.schedule(5, lambda c: fired.append(("b", c)))
+            engine.schedule(100, lambda c: fired.append(("late", c)))
+            final = engine.run(until=100)
+            return fired, final, engine.pending_events()
+
+        plain = drive(Engine())
+        profiled = drive(Engine(profiler=SimProfiler()))
+        assert profiled == plain
+
+    def test_events_charged_to_owner_class(self):
+        class Ticker:
+            def __init__(self):
+                self.count = 0
+
+            def tick(self, cycle):
+                self.count += 1
+
+        profiler = SimProfiler()
+        engine = Engine(profiler=profiler)
+        ticker = Ticker()
+        for i in range(3):
+            engine.schedule(i, ticker.tick)
+        engine.schedule(5, functools.partial(lambda mul, c: None, 2))
+        engine.run()
+        assert profiler.events.get("Ticker") == 3
+        assert sum(profiler.events.values()) == 4
+        assert all(sec >= 0.0 for sec in profiler.seconds.values())
+        # breakdown() is (name, seconds, events), heaviest first.
+        names = [row[0] for row in profiler.breakdown()]
+        assert "Ticker" in names

@@ -174,3 +174,83 @@ class TestEpochBoundary:
         snap = profiler.snapshot(100)
         ghost = snap.profile(42)
         assert ghost.mpki == 0.0 and ghost.requests == 0
+
+
+class TestSimProfilerAttribution:
+    """Wall-clock profiler callback attribution (SimProfiler.component_of).
+
+    Regression: partial-wrapped callbacks used to report "partial" (the
+    wrapper's type) and callable instances landed in an unattributed
+    bucket, so profile reports misattributed whole components.
+    """
+
+    def _component_of(self):
+        from repro.sim.engine import SimProfiler
+
+        return SimProfiler.component_of
+
+    def test_bound_method_reports_owner_class(self):
+        component_of = self._component_of()
+
+        class Widget:
+            def poke(self, cycle):
+                pass
+
+        assert component_of(Widget().poke) == "Widget"
+
+    def test_plain_function_reports_enclosing_scope(self):
+        component_of = self._component_of()
+
+        def handler(cycle):
+            pass
+
+        assert component_of(handler).startswith(
+            "TestSimProfilerAttribution"
+        )
+
+    def test_partial_of_function_unwrapped(self):
+        import functools
+
+        component_of = self._component_of()
+
+        def handler(tag, cycle):
+            pass
+
+        assert component_of(functools.partial(handler, "x")) == component_of(
+            handler
+        )
+
+    def test_partial_of_bound_method_unwrapped(self):
+        import functools
+
+        component_of = self._component_of()
+
+        class Widget:
+            def poke(self, tag, cycle):
+                pass
+
+        wrapped = functools.partial(Widget().poke, "x")
+        assert component_of(wrapped) == "Widget"
+
+    def test_nested_partial_unwrapped(self):
+        import functools
+
+        component_of = self._component_of()
+
+        class Widget:
+            def poke(self, a, b, cycle):
+                pass
+
+        wrapped = functools.partial(functools.partial(Widget().poke, 1), 2)
+        assert component_of(wrapped) == "Widget"
+
+    def test_callable_instance_reports_its_class(self):
+        component_of = self._component_of()
+
+        class Relay:
+            __slots__ = ()
+
+            def __call__(self, cycle):
+                pass
+
+        assert component_of(Relay()) == "Relay"
