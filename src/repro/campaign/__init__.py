@@ -28,6 +28,12 @@ from .executor import (
     execute,
     execute_one,
 )
+from .failures import (
+    FailureAttempt,
+    FailureClass,
+    FailureRecord,
+    classify_failure,
+)
 from .api import run_campaign, sweep_metrics
 from .progress import ProgressPrinter, aggregate_telemetry, render_report
 from .spec import DEFAULT_APPROACHES, CampaignSpec, RunSpec, plan_sweep
@@ -50,6 +56,10 @@ __all__ = [
     "RunTimeoutError",
     "execute",
     "execute_one",
+    "FailureAttempt",
+    "FailureClass",
+    "FailureRecord",
+    "classify_failure",
     "run_campaign",
     "sweep_metrics",
     "ProgressPrinter",

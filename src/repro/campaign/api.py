@@ -28,13 +28,22 @@ def run_campaign(
     timeout: Optional[float] = None,
     progress: Optional[ProgressFn] = None,
     persist: bool = True,
+    backoff: float = 0.25,
+    quarantine_after: int = 2,
+    max_pool_respawns: int = 3,
+    safepoint_every: Optional[int] = None,
+    checkpoint_dir: Optional[object] = None,
+    faults: Optional[object] = None,
 ) -> CampaignResult:
     """Execute a campaign spec (or an explicit plan) and return outcomes.
 
     With ``persist`` (the default) results land in ``store`` — created at
     :func:`~repro.campaign.store.default_store_dir` when not given — so a
     re-run of the same campaign is served from disk and an interrupted one
-    resumes where it stopped.
+    resumes where it stopped. The supervision knobs (``backoff``,
+    ``quarantine_after``, ``max_pool_respawns``, ``safepoint_every``,
+    ``checkpoint_dir``, ``faults``) pass straight through to
+    :func:`~repro.campaign.executor.execute`.
     """
     specs = plan.plan() if isinstance(plan, CampaignSpec) else list(plan)
     if persist and store is None:
@@ -46,6 +55,12 @@ def run_campaign(
         retries=retries,
         timeout=timeout,
         progress=progress,
+        backoff=backoff,
+        quarantine_after=quarantine_after,
+        max_pool_respawns=max_pool_respawns,
+        safepoint_every=safepoint_every,
+        checkpoint_dir=checkpoint_dir,
+        faults=faults,
     )
 
 
@@ -74,11 +89,12 @@ def sweep_metrics(
             campaign = execute(
                 missing, jobs=runner.jobs, store=runner.store
             )
-            failures = campaign.failed
+            failures = campaign.failed + campaign.quarantined
             if failures:
                 first = failures[0]
                 raise ExperimentError(
-                    f"{len(failures)} of {len(missing)} sweep runs failed; "
+                    f"{len(failures)} of {len(missing)} sweep runs "
+                    f"failed or were quarantined; "
                     f"first: {first.spec.label} — {first.error}"
                 )
             for outcome in campaign.outcomes:

@@ -1,0 +1,168 @@
+"""Failure taxonomy and structured failure records for campaigns.
+
+Every error a run can die of falls into one of four classes, and the
+supervisor's reaction is a pure function of the class:
+
+=================  ==========================================  ==============
+class              typical causes                              reaction
+=================  ==========================================  ==============
+``transient``      injected/transient env error, OSError,      retry with
+                   MemoryError, torn checkpoint flush          backoff;
+                                                               charges budget
+``deterministic``  ConfigError, SimulationError, any other     retry once to
+                   exception raised by the run itself          confirm, then
+                                                               quarantine
+``timeout``        per-run deadline expired                    retry (from
+                                                               the last
+                                                               checkpoint if
+                                                               one exists);
+                                                               charges budget
+``infrastructure`` worker process died (BrokenProcessPool),    requeue without
+                   pool respawn                                charging the
+                                                               spec's budget
+=================  ==========================================  ==============
+
+A spec that exhausts its budget or trips quarantine settles with a
+:class:`FailureRecord` — error class, per-attempt tracebacks, wall-clock
+lost — persisted next to the results it failed to produce (see
+``ResultStore.put_failure``), so no run can ever be lost *silently*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List
+
+
+class FailureClass(Enum):
+    """What kind of failure an error represents (see module docstring)."""
+
+    TRANSIENT = "transient"
+    DETERMINISTIC = "deterministic"
+    TIMEOUT = "timeout"
+    INFRASTRUCTURE = "infrastructure"
+
+
+def classify_failure(error: BaseException) -> FailureClass:
+    """Map one caught exception onto the four-way taxonomy.
+
+    The checks are ordered most-specific first: the injected
+    ``TransientFaultError`` subclasses ``ReproError``, and ``TimeoutError``
+    is an ``OSError`` subclass on CPython 3.10+, so neither may fall
+    through to a broader bucket.
+    """
+    from concurrent.futures.process import BrokenProcessPool
+
+    from ..faults.injectors import TransientFaultError
+    from .executor import RunTimeoutError
+
+    if isinstance(error, RunTimeoutError):
+        return FailureClass.TIMEOUT
+    if isinstance(error, TransientFaultError):
+        return FailureClass.TRANSIENT
+    if isinstance(error, BrokenProcessPool):
+        return FailureClass.INFRASTRUCTURE
+    if isinstance(error, (OSError, MemoryError)):
+        return FailureClass.TRANSIENT
+    return FailureClass.DETERMINISTIC
+
+
+@dataclass
+class FailureAttempt:
+    """One failed try of one spec, as the supervisor saw it."""
+
+    #: Budget-consuming attempt number at the time of the failure
+    #: (infrastructure losses are refunded, so this can repeat).
+    attempt: int
+    #: Monotonic count of hand-offs to a worker, including ones whose
+    #: worker died before reporting anything.
+    submission: int
+    error_class: str
+    error_type: str
+    message: str
+    traceback: str = ""
+    #: Parent-observed seconds between hand-off and the failure.
+    wall_clock: float = 0.0
+    #: Unix timestamp of the failure (forensics only).
+    at: float = 0.0
+
+    def to_doc(self) -> Dict[str, object]:
+        return {
+            "attempt": self.attempt,
+            "submission": self.submission,
+            "error_class": self.error_class,
+            "error_type": self.error_type,
+            "message": self.message,
+            "traceback": self.traceback,
+            "wall_clock": round(self.wall_clock, 3),
+            "at": self.at,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: Dict[str, object]) -> "FailureAttempt":
+        return cls(
+            attempt=int(doc.get("attempt", 0)),
+            submission=int(doc.get("submission", 0)),
+            error_class=str(doc.get("error_class", "")),
+            error_type=str(doc.get("error_type", "")),
+            message=str(doc.get("message", "")),
+            traceback=str(doc.get("traceback", "")),
+            wall_clock=float(doc.get("wall_clock", 0.0)),
+            at=float(doc.get("at", 0.0)),
+        )
+
+
+#: Bump on incompatible changes to the persisted failure-record layout.
+RECORD_VERSION = 1
+
+
+@dataclass
+class FailureRecord:
+    """The full failure history of one spec, persisted with the store."""
+
+    key: str
+    label: str
+    #: "failed" (budget exhausted), "quarantined" (poison spec), or
+    #: "recovered" (succeeded after at least one failed attempt — kept for
+    #: forensics; the result itself lives in the store).
+    resolution: str
+    final_class: str
+    reason: str
+    attempts: List[FailureAttempt] = field(default_factory=list)
+    #: Total parent-observed seconds lost to the failed attempts.
+    time_lost: float = 0.0
+
+    @property
+    def last_error(self) -> str:
+        if not self.attempts:
+            return ""
+        last = self.attempts[-1]
+        return f"{last.error_type}: {last.message}"
+
+    def to_doc(self) -> Dict[str, object]:
+        return {
+            "record_version": RECORD_VERSION,
+            "key": self.key,
+            "label": self.label,
+            "resolution": self.resolution,
+            "final_class": self.final_class,
+            "reason": self.reason,
+            "time_lost": round(self.time_lost, 3),
+            "attempts": [attempt.to_doc() for attempt in self.attempts],
+        }
+
+    @classmethod
+    def from_doc(cls, doc: Dict[str, object]) -> "FailureRecord":
+        return cls(
+            key=str(doc.get("key", "")),
+            label=str(doc.get("label", "")),
+            resolution=str(doc.get("resolution", "")),
+            final_class=str(doc.get("final_class", "")),
+            reason=str(doc.get("reason", "")),
+            time_lost=float(doc.get("time_lost", 0.0)),
+            attempts=[
+                FailureAttempt.from_doc(item)
+                for item in doc.get("attempts", [])
+            ],
+        )

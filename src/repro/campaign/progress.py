@@ -37,6 +37,9 @@ class ProgressPrinter:
         self.completed = 0
         self.cached = 0
         self.failed = 0
+        self.quarantined = 0
+        #: Budget-consuming attempts across every settled run.
+        self.attempts = 0
 
     def __call__(self, outcome: RunOutcome, done: int, total: int) -> None:
         if outcome.status == "ok":
@@ -44,8 +47,11 @@ class ProgressPrinter:
             self._executed_walls.append(outcome.wall_clock)
         elif outcome.status == "cached":
             self.cached += 1
+        elif outcome.status == "quarantined":
+            self.quarantined += 1
         else:
             self.failed += 1
+        self.attempts += outcome.attempts
         if not self.enabled:
             return
         width = len(str(self.total))
@@ -55,8 +61,10 @@ class ProgressPrinter:
         )
         if outcome.status == "ok":
             line += f" {outcome.wall_clock:6.1f}s"
-        elif outcome.status == "failed":
-            line += f" ({outcome.error})"
+            if outcome.attempts > 1:
+                line += f" (attempt {outcome.attempts})"
+        elif outcome.status in ("failed", "quarantined"):
+            line += f" after {outcome.attempts} attempt(s) ({outcome.error})"
         eta = self._eta(done)
         if eta is not None:
             line += f"  eta {eta:.0f}s"
@@ -128,8 +136,8 @@ def render_report(
     from ..experiments.report import render_table
 
     columns = [
-        "mix", "approach", "seed", "horizon", "status", "ws", "hs", "ms",
-        "secs",
+        "mix", "approach", "seed", "horizon", "status", "tries", "ws", "hs",
+        "ms", "secs",
     ]
     rows: List[List[object]] = []
     for outcome in result.outcomes:
@@ -142,6 +150,7 @@ def render_report(
                 spec.seed,
                 spec.horizon,
                 outcome.status,
+                outcome.attempts,
                 metrics.weighted_speedup if metrics else "-",
                 metrics.harmonic_speedup if metrics else "-",
                 metrics.max_slowdown if metrics else "-",
@@ -154,9 +163,24 @@ def render_report(
         f"runs: {len(result.outcomes)} total, {len(executed)} executed, "
         f"{len(result.cached)} cached "
         f"({100.0 * result.cache_hit_rate:.0f}% hit rate), "
-        f"{len(result.failed)} failed"
+        f"{len(result.failed)} failed, "
+        f"{len(result.quarantined)} quarantined"
     )
     parts.append(f"campaign wall-clock: {result.wall_clock:.1f}s")
+    if result.time_lost_to_faults > 0 or result.pool_respawns > 0:
+        parts.append(
+            f"faults: {result.time_lost_to_faults:.1f}s lost to failed "
+            f"attempts, {result.pool_respawns} pool respawn(s)"
+        )
+    recovered = [
+        o for o in result.executed if o.failure is not None
+    ]
+    for outcome in recovered:
+        parts.append(
+            f"RECOVERED on attempt {outcome.attempts}: "
+            f"{outcome.spec.label} — "
+            f"{outcome.failure.attempts[-1].error_type} on earlier tries"
+        )
     telemetry = aggregate_telemetry(result.outcomes)
     if telemetry is not None:
         fields = ", ".join(
@@ -179,5 +203,11 @@ def render_report(
         parts.append(
             f"FAILED after {outcome.attempts} attempt(s): "
             f"{outcome.spec.label} — {outcome.error}"
+        )
+    for outcome in result.quarantined:
+        reason = outcome.failure.reason if outcome.failure else outcome.error
+        parts.append(
+            f"QUARANTINED after {outcome.attempts} attempt(s): "
+            f"{outcome.spec.label} — {reason} ({outcome.error})"
         )
     return "\n".join(parts)

@@ -324,12 +324,15 @@ class ResultStore:
         """
         path = self.path_for(key)
         try:
-            text = path.read_text()
+            raw = path.read_bytes()
         except OSError:
             self.stats.misses += 1
             return None
         try:
-            doc = json.loads(text)
+            # Decode inside the guard: a bit-flipped blob can be invalid
+            # UTF-8 just as easily as invalid JSON, and both must
+            # quarantine rather than crash the campaign's cache scan.
+            doc = json.loads(raw.decode("utf-8"))
             if doc.get("key") != key:
                 raise ValueError("entry key does not match its path")
             version = doc.get("version")
@@ -388,6 +391,55 @@ class ResultStore:
             # A broken/contended index must not lose a finished simulation;
             # `results index` rebuilds the rows from the blob later.
             self.stats.index_errors += 1
+
+    # ------------------------------------------------------------------
+    # Failure records (the supervisor's forensics; see campaign.failures).
+    # They live under ``failures/<shard>/<key>.json`` — three path levels,
+    # so the two-level ``*/*.json`` result-blob globs never see them.
+    # ------------------------------------------------------------------
+    def failure_path_for(self, key: str) -> Path:
+        return self.root / "failures" / key[:2] / f"{key}.json"
+
+    def put_failure(self, key: str, doc: Dict[str, object]) -> Path:
+        """Persist one failure record atomically (same contract as put)."""
+        path = self.failure_path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(doc, sort_keys=True, indent=1) + "\n")
+        os.replace(tmp, path)
+        return path
+
+    def get_failure(self, key: str) -> Optional[Dict[str, object]]:
+        """The persisted failure record for ``key``, or None.
+
+        An unreadable record returns None rather than raising: failure
+        records are forensics, never inputs to a simulation.
+        """
+        try:
+            doc = json.loads(self.failure_path_for(key).read_text())
+        except (OSError, ValueError):
+            return None
+        return doc if isinstance(doc, dict) else None
+
+    def clear_failure(self, key: str) -> None:
+        """Drop the failure record for ``key`` (the spec now has a result)."""
+        try:
+            self.failure_path_for(key).unlink()
+        except OSError:
+            pass
+
+    def iter_failures(self) -> Iterator[Tuple[str, Dict[str, object]]]:
+        """Every readable failure record on disk as (key, document)."""
+        root = self.root / "failures"
+        if not root.is_dir():
+            return
+        for path in sorted(root.glob("*/*.json")):
+            try:
+                doc = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            if isinstance(doc, dict):
+                yield path.stem, doc
 
     # ------------------------------------------------------------------
     # Entry iteration (the index's sync feed and the store CLI).

@@ -155,6 +155,40 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-run timeout in seconds (default: none)",
     )
     campaign_parser.add_argument(
+        "--backoff",
+        type=float,
+        default=0.25,
+        help="base of the exponential retry backoff in seconds (default 0.25)",
+    )
+    campaign_parser.add_argument(
+        "--quarantine-after",
+        type=int,
+        default=2,
+        help=(
+            "deterministic failures before a spec is quarantined instead "
+            "of retried (default 2)"
+        ),
+    )
+    campaign_parser.add_argument(
+        "--safepoint-every",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help=(
+            "checkpoint running simulations every CYCLES cycles so a "
+            "killed or timed-out run resumes from its last safepoint"
+        ),
+    )
+    campaign_parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN.json",
+        help=(
+            "inject the deterministic fault plan into every worker "
+            "(chaos testing; see repro.faults)"
+        ),
+    )
+    campaign_parser.add_argument(
         "--store",
         default=None,
         metavar="DIR",
@@ -618,6 +652,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     progress = ProgressPrinter(
         total=len(plan), jobs=args.jobs, enabled=not args.quiet
     )
+    faults = None
+    if args.faults:
+        from .faults import FaultPlan
+
+        faults = FaultPlan.load(args.faults)
     result = run_campaign(
         plan,
         jobs=args.jobs,
@@ -626,6 +665,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         progress=progress,
         persist=not args.no_store,
+        backoff=args.backoff,
+        quarantine_after=args.quarantine_after,
+        safepoint_every=args.safepoint_every,
+        faults=faults,
     )
     gates_report = None
     if args.gates:
@@ -646,6 +689,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                     "attempts": o.attempts,
                     "wall_clock": o.wall_clock,
                     "error": o.error,
+                    "failure": o.failure.to_doc() if o.failure else None,
                     "metrics": (
                         {
                             "ws": o.result.metrics.weighted_speedup,
@@ -663,8 +707,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 "executed": len(result.executed),
                 "cached": len(result.cached),
                 "failed": len(result.failed),
+                "quarantined": len(result.quarantined),
                 "cache_hit_rate": result.cache_hit_rate,
                 "wall_clock": result.wall_clock,
+                "time_lost_to_faults": result.time_lost_to_faults,
+                "pool_respawns": result.pool_respawns,
                 "store": store.stats.as_dict() if store else None,
                 "telemetry": aggregate_telemetry(result.outcomes),
             },
@@ -679,7 +726,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             print(gates_report.render())
     if gates_report is not None and not gates_report.ok():
         return 1
-    return 1 if result.failed else 0
+    return 1 if (result.failed or result.quarantined) else 0
 
 
 def _print_profile(report: dict) -> None:

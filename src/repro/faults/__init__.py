@@ -1,0 +1,42 @@
+"""Deterministic fault-injection harness.
+
+Seed-driven, stateless-at-runtime injectors for chaos-testing the campaign
+layer: worker crashes (real ``SIGKILL``), hangs past the deadline,
+transient and deterministic exceptions, corrupted store blobs, truncated
+trace files, and checkpoint writes torn mid-flush. See
+:mod:`repro.faults.plan` for how firing decisions stay deterministic
+across processes and retries.
+"""
+
+from .injectors import (
+    TransientFaultError,
+    corrupt_file,
+    crash_process,
+    hang,
+    truncate_file,
+)
+from .plan import FAULT_KINDS, FaultPlan, FaultPlanError, FaultSpec
+from .runtime import (
+    active_plan,
+    check_fault,
+    install_plan,
+    maybe_fire,
+    reset,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
+    "TransientFaultError",
+    "active_plan",
+    "check_fault",
+    "corrupt_file",
+    "crash_process",
+    "hang",
+    "install_plan",
+    "maybe_fire",
+    "reset",
+    "truncate_file",
+]

@@ -71,13 +71,13 @@ def _traces(apps, seed: int, target_insts: int):
     return out
 
 
-def run_grid_spec(
+def build_grid_system(
     spec: GridSpec,
     kernel: Optional[str] = None,
     horizon: int = HORIZON,
-) -> Dict[str, object]:
-    """Run one grid entry; returns a JSON-comparable result document."""
-    name, approach_name, page_policy, validate = spec
+) -> System:
+    """A fresh, unrun :class:`System` for one grid entry."""
+    _name, approach_name, page_policy, validate = spec
     approach = get_approach(approach_name)
     config = SystemConfig().with_scheduler(
         approach.scheduler, **approach.scheduler_params
@@ -91,7 +91,7 @@ def run_grid_spec(
     kwargs: Dict[str, object] = {}
     if kernel is not None:
         kwargs["kernel"] = kernel
-    system = System(
+    return System(
         config,
         traces,
         horizon=horizon,
@@ -99,7 +99,61 @@ def run_grid_spec(
         validate=validate,
         **kwargs,
     )
+
+
+def run_grid_spec(
+    spec: GridSpec,
+    kernel: Optional[str] = None,
+    horizon: int = HORIZON,
+) -> Dict[str, object]:
+    """Run one grid entry; returns a JSON-comparable result document."""
+    system = build_grid_system(spec, kernel=kernel, horizon=horizon)
     result = system.run()
+    return grid_doc(system, result)
+
+
+def run_grid_spec_checkpointed(
+    spec: GridSpec,
+    kernel: Optional[str] = None,
+    horizon: int = HORIZON,
+    interrupt_at: Optional[int] = None,
+) -> Dict[str, object]:
+    """Run one grid entry *through* a mid-flight checkpoint round trip.
+
+    The run is killed at its first safepoint (default: a third of the
+    horizon) right after serializing a checkpoint; a brand-new System is
+    rebuilt from those bytes and resumed to completion. The returned
+    document must equal :func:`run_grid_spec`'s — the differential test
+    compares both against the committed golden fixture.
+    """
+    every = interrupt_at if interrupt_at is not None else max(1, horizon // 3)
+
+    class _Interrupted(Exception):
+        pass
+
+    captured: Dict[str, bytes] = {}
+
+    def _snap_and_die(system: System, _cycle: int) -> None:
+        captured["blob"] = system.checkpoint()
+        raise _Interrupted
+
+    first = build_grid_system(spec, kernel=kernel, horizon=horizon)
+    try:
+        first.run(safepoint_every=every, on_safepoint=_snap_and_die)
+    except _Interrupted:
+        pass
+    if "blob" not in captured:
+        # Horizon shorter than one safepoint step: nothing to interrupt.
+        raise RuntimeError(
+            f"no safepoint fired before horizon {horizon} (every={every})"
+        )
+    restored = System.restore(captured["blob"])
+    result = restored.resume()
+    return grid_doc(restored, result)
+
+
+def grid_doc(system: System, result) -> Dict[str, object]:
+    """The JSON-comparable document for one finished grid run."""
     return {
         "threads": {
             str(tid): {

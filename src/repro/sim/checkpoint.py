@@ -1,0 +1,325 @@
+"""Versioned checkpoint codec for mid-run simulator state.
+
+A checkpoint is the complete object graph of a paused :class:`System` —
+engine agenda, controller queues and memo caches, cores, caches, policy and
+scheduler state, RNG streams — serialized between two engine steps, when no
+event is executing. The format is::
+
+    MAGIC | u32 header length | header JSON | payload (pickle bytes)
+
+The header carries the checkpoint format version, the interpreter tag, the
+SHA-256 of the payload, and caller metadata (the run key, the cycle). The
+digest is verified before a single payload byte is unpickled, so a torn or
+bit-flipped file surfaces as :class:`CheckpointCorruptError` — never as a
+silently wrong simulation.
+
+Stock pickle refuses the agenda's callbacks: completion relays are lambdas
+and nested closures (see ``System.access``), which have no importable name.
+:class:`_SimPickler` extends pickle with a reducer for exactly those:
+the code object travels by ``marshal``, globals re-bind to the defining
+module on load, and defaults/closure-cell contents are restored through a
+deferred state setter so cyclic graphs (a lambda whose closure reaches the
+System that holds the agenda that holds the lambda) terminate via the
+pickle memo. Closure *cells* are recreated per function rather than
+shared; every closure in the simulator captures frame locals that are
+never rebound after creation, so identity of the cells (as opposed to
+their contents, which stay shared through the memo) is not observable.
+
+``marshal`` code bytes are interpreter-specific, so the header pins the
+CPython x.y tag; a checkpoint from another interpreter is *stale*
+(:class:`CheckpointError`), not corrupt, and callers fall back to a
+from-scratch run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import io
+import json
+import marshal
+import os
+import pickle
+import struct
+import sys
+import types
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ReproError
+
+#: Bump whenever the serialized layout (header or reducer contract)
+#: changes incompatibly. Distinct from the store's ``STORE_VERSION``:
+#: checkpoints are short-lived scratch state, not results.
+CHECKPOINT_VERSION = 1
+
+_MAGIC = b"RDBPCKPT\n"
+_HEADER_LEN = struct.Struct(">I")
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be produced or is unusable (e.g. stale)."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A checkpoint file is damaged: torn write, truncation, bad digest."""
+
+
+def _interp_tag() -> str:
+    return "%s-%d.%d" % (
+        sys.implementation.name,
+        sys.version_info[0],
+        sys.version_info[1],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Function/closure reduction.
+# ---------------------------------------------------------------------------
+class _EmptyCell:
+    """Sentinel for an unset closure cell (picklable singleton)."""
+
+    _instance: Optional["_EmptyCell"] = None
+
+    def __new__(cls) -> "_EmptyCell":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __reduce__(self):
+        return (_EmptyCell, ())
+
+
+_EMPTY = _EmptyCell()
+
+
+def _make_skeleton_function(
+    code_bytes: bytes, module: str, qualname: str, n_cells: int
+):
+    """Rebuild a function shell: code + module globals + empty closure.
+
+    Defaults and cell contents arrive later via :func:`_apply_function_state`
+    — the two-phase construction is what lets pickle memoize the function
+    before any (possibly self-referential) captured state is deserialized.
+    """
+    code = marshal.loads(code_bytes)
+    try:
+        globals_ = importlib.import_module(module).__dict__
+    except Exception as error:  # pragma: no cover - module vanished
+        raise CheckpointCorruptError(
+            f"checkpointed function {qualname!r} needs module {module!r}: "
+            f"{error}"
+        ) from error
+    closure = tuple(types.CellType() for _ in range(n_cells))
+    func = types.FunctionType(
+        code, globals_, code.co_name, None, closure or None
+    )
+    func.__qualname__ = qualname
+    return func
+
+
+def _apply_function_state(func, state) -> None:
+    defaults, kwdefaults, cell_values = state
+    func.__defaults__ = defaults
+    if kwdefaults:
+        func.__kwdefaults__ = dict(kwdefaults)
+    for cell, value in zip(func.__closure__ or (), cell_values):
+        if not isinstance(value, _EmptyCell):
+            cell.cell_contents = value
+
+
+def _cell_value(cell):
+    try:
+        return cell.cell_contents
+    except ValueError:  # unset cell (still-building closure)
+        return _EMPTY
+
+
+class _SimPickler(pickle.Pickler):
+    """Pickle extended with lambda/closure support (see module docstring)."""
+
+    def reducer_override(self, obj):  # noqa: D102 - pickle API
+        if isinstance(obj, types.FunctionType):
+            qualname = obj.__qualname__ or ""
+            if "<lambda>" in qualname or "<locals>" in qualname:
+                return self._reduce_function(obj, qualname)
+        return NotImplemented
+
+    @staticmethod
+    def _reduce_function(obj, qualname: str):
+        closure = obj.__closure__ or ()
+        state = (
+            obj.__defaults__,
+            obj.__kwdefaults__,
+            tuple(_cell_value(cell) for cell in closure),
+        )
+        return (
+            _make_skeleton_function,
+            (
+                marshal.dumps(obj.__code__),
+                obj.__module__ or "builtins",
+                qualname,
+                len(closure),
+            ),
+            state,
+            None,
+            None,
+            _apply_function_state,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Blob encode/decode.
+# ---------------------------------------------------------------------------
+def dump_checkpoint(root: Any, meta: Optional[Dict[str, Any]] = None) -> bytes:
+    """Serialize ``root`` into a self-verifying checkpoint blob."""
+    buffer = io.BytesIO()
+    pickler = _SimPickler(buffer, protocol=5)
+    try:
+        pickler.dump(root)
+    except (pickle.PicklingError, TypeError, AttributeError, ValueError) as e:
+        raise CheckpointError(f"state is not checkpointable: {e}") from e
+    payload = buffer.getvalue()
+    header = {
+        "version": CHECKPOINT_VERSION,
+        "interp": _interp_tag(),
+        "payload_sha256": hashlib.sha256(payload).hexdigest(),
+        "payload_len": len(payload),
+        "meta": dict(meta or {}),
+    }
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    return (
+        _MAGIC + _HEADER_LEN.pack(len(header_bytes)) + header_bytes + payload
+    )
+
+
+def read_checkpoint_header(blob: bytes) -> Dict[str, Any]:
+    """Parse and validate the header without touching the payload digest.
+
+    Cheap pre-check for "is this checkpoint even for my run / my
+    interpreter" before paying for unpickling. Raises
+    :class:`CheckpointCorruptError` for structural damage and
+    :class:`CheckpointError` for a readable-but-unusable checkpoint
+    (foreign format version or interpreter).
+    """
+    if not blob.startswith(_MAGIC):
+        raise CheckpointCorruptError("not a checkpoint (bad magic)")
+    offset = len(_MAGIC)
+    if len(blob) < offset + _HEADER_LEN.size:
+        raise CheckpointCorruptError("checkpoint truncated inside header")
+    (header_len,) = _HEADER_LEN.unpack_from(blob, offset)
+    offset += _HEADER_LEN.size
+    header_bytes = blob[offset : offset + header_len]
+    if len(header_bytes) < header_len:
+        raise CheckpointCorruptError("checkpoint truncated inside header")
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as error:
+        raise CheckpointCorruptError(
+            f"checkpoint header is not valid JSON: {error}"
+        ) from error
+    if not isinstance(header, dict):
+        raise CheckpointCorruptError("checkpoint header is not an object")
+    if header.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint format version {header.get('version')!r} != "
+            f"{CHECKPOINT_VERSION}"
+        )
+    if header.get("interp") != _interp_tag():
+        raise CheckpointError(
+            f"checkpoint written by {header.get('interp')!r}, "
+            f"this interpreter is {_interp_tag()!r}"
+        )
+    header["_payload_offset"] = offset + header_len
+    return header
+
+
+def load_checkpoint(blob: bytes) -> Tuple[Any, Dict[str, Any]]:
+    """Verify and deserialize a checkpoint blob; returns (root, header)."""
+    header = read_checkpoint_header(blob)
+    payload = blob[header["_payload_offset"] :]
+    if len(payload) != header.get("payload_len"):
+        raise CheckpointCorruptError(
+            f"checkpoint payload is {len(payload)} bytes, header promises "
+            f"{header.get('payload_len')}"
+        )
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != header.get("payload_sha256"):
+        raise CheckpointCorruptError(
+            "checkpoint payload digest mismatch (torn or corrupted write)"
+        )
+    try:
+        root = pickle.loads(payload)
+    except CheckpointError:
+        raise
+    except Exception as error:
+        raise CheckpointCorruptError(
+            f"checkpoint payload does not unpickle: {error}"
+        ) from error
+    return root, header
+
+
+# ---------------------------------------------------------------------------
+# File helpers (safepoints on disk).
+# ---------------------------------------------------------------------------
+def write_checkpoint_file(
+    path, blob: bytes, fault_key: str = "", fault_attempt: int = 1
+) -> Path:
+    """Atomically persist a checkpoint blob (tmp file + rename).
+
+    The deterministic fault harness can intercept this write (site
+    ``checkpoint.write``, addressed by the run's ``fault_key`` on the
+    caller's ``fault_attempt``):
+
+    * kind ``torn_checkpoint`` leaves a half-written file at the *final*
+      path — exactly what a crash between ``write`` and ``fsync`` on a
+      non-atomic writer produces — and raises, so resume paths must
+      survive it via the digest check;
+    * kind ``transient`` completes the write and *then* raises — a worker
+      dying right after the flush — so retries must resume from the
+      checkpoint just written.
+    """
+    from ..faults import check_fault  # local import: faults is optional
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    spec = check_fault("checkpoint.write", key=fault_key, attempt=fault_attempt)
+    if spec is not None and spec.kind == "torn_checkpoint":
+        from ..faults import TransientFaultError
+
+        path.write_bytes(blob[: max(len(_MAGIC) + 2, len(blob) // 2)])
+        raise TransientFaultError(
+            f"injected torn checkpoint write at {path}"
+        )
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    tmp.write_bytes(blob)
+    os.replace(tmp, path)
+    if spec is not None and spec.kind == "transient":
+        from ..faults import TransientFaultError
+
+        raise TransientFaultError(
+            f"injected worker death right after checkpoint flush to {path}"
+        )
+    return path
+
+
+def read_checkpoint_file(path) -> Tuple[Any, Dict[str, Any]]:
+    """Load a checkpoint file; OSError maps to :class:`CheckpointError`."""
+    try:
+        blob = Path(path).read_bytes()
+    except OSError as error:
+        raise CheckpointError(
+            f"cannot read checkpoint {path}: {error}"
+        ) from error
+    return load_checkpoint(blob)
+
+
+def read_checkpoint_file_header(path) -> Dict[str, Any]:
+    """Header of a checkpoint file without deserializing the payload."""
+    try:
+        blob = Path(path).read_bytes()
+    except OSError as error:
+        raise CheckpointError(
+            f"cannot read checkpoint {path}: {error}"
+        ) from error
+    return read_checkpoint_header(blob)

@@ -13,8 +13,10 @@ The runner owns the methodology boilerplate every experiment shares:
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Dict, Optional, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Sequence
 
 from ..config import SystemConfig
 from ..core.integration import Approach, get_approach
@@ -91,6 +93,8 @@ class Runner:
         profile: bool = False,
         trace_source: Optional[TraceSource] = None,
         kernel: Optional[str] = None,
+        safepoint_every: Optional[int] = None,
+        safepoint_dir: Optional[object] = None,
     ) -> None:
         self.config = config if config is not None else SystemConfig()
         if horizon <= 0:
@@ -128,6 +132,19 @@ class Runner:
         #: Where app names resolve to traces: the default source serves
         #: synthetic profiles and registered library traces alike (see
         #: :mod:`repro.traces.source`).
+        #: When both are set, every cacheable mix run writes a checkpoint
+        #: to ``safepoint_dir/<store_key>.ckpt`` every ``safepoint_every``
+        #: cycles and *resumes from* a matching checkpoint left behind by a
+        #: killed or timed-out predecessor. The checkpoint is deleted once
+        #: the run completes. Resumed runs are bit-identical to
+        #: uninterrupted ones (pinned by the kernel-golden checkpoint grid).
+        self.safepoint_every = safepoint_every
+        self.safepoint_dir = safepoint_dir
+        #: Retry attempt this Runner hand-off serves (set by the campaign
+        #: executor before each submission). Only consumed by the fault
+        #: harness so ``times=N`` checkpoint-write faults stop firing once
+        #: the campaign has moved past attempt N.
+        self.fault_attempt = 1
         self.trace_source: TraceSource = (
             trace_source if trace_source is not None else DefaultTraceSource()
         )
@@ -279,20 +296,49 @@ class Runner:
         started = time.perf_counter()
         spec = get_approach(approach)
         config = self._configure(spec, len(apps))
-        traces = [self.trace_for(app) for app in apps]
-        recorder = self._make_recorder()
-        system = System(
-            config,
-            traces,
-            horizon=self.horizon,
-            policy=spec.make_policy(),
-            validate=self.validate,
-            ahead_limit=self.ahead_limit,
-            telemetry=recorder,
-            profile=self.profile,
-            kernel=self.kernel,
+        ckpt_path: Optional[Path] = None
+        hook: Optional[Callable[[System, int], None]] = None
+        every: Optional[int] = None
+        if self.safepoint_every and self.safepoint_dir is not None:
+            if store_key is None:
+                store_key = self._store_key(apps, approach)
+            ckpt_path = Path(self.safepoint_dir) / f"{store_key}.ckpt"
+            every = self.safepoint_every
+            label = (
+                f"{mix_name or '+'.join(apps)}/{approach} "
+                f"s{self.seed} h{self.horizon}"
+            )
+            hook = self._safepoint_hook(
+                ckpt_path, store_key, label, self.fault_attempt
+            )
+        system = (
+            self._restore_safepoint(ckpt_path, store_key)
+            if ckpt_path is not None
+            else None
         )
-        result = system.run()
+        if system is not None:
+            recorder = system.telemetry
+            result = system.resume(safepoint_every=every, on_safepoint=hook)
+        else:
+            traces = [self.trace_for(app) for app in apps]
+            recorder = self._make_recorder()
+            system = System(
+                config,
+                traces,
+                horizon=self.horizon,
+                policy=spec.make_policy(),
+                validate=self.validate,
+                ahead_limit=self.ahead_limit,
+                telemetry=recorder,
+                profile=self.profile,
+                kernel=self.kernel,
+            )
+            result = system.run(safepoint_every=every, on_safepoint=hook)
+        if ckpt_path is not None:
+            try:
+                ckpt_path.unlink()
+            except OSError:
+                pass
         self.last_telemetry = recorder
         self.last_profile = (
             system.profile_report() if self.profile else None
@@ -343,6 +389,86 @@ class Runner:
                 describe=describe,
             )
         return run_result
+
+    # ------------------------------------------------------------------
+    # Safepoints (checkpointed mid-run state for fault-tolerant retries).
+    # ------------------------------------------------------------------
+    def _restore_safepoint(
+        self, path: Path, run_key: Optional[str]
+    ) -> Optional[System]:
+        """A System resumed from ``path``, or None for scratch.
+
+        A checkpoint that is corrupt (torn write, flipped bytes) or stale
+        (foreign interpreter/format, different run) never aborts the run:
+        it is discarded with a warning and the run starts from scratch.
+        """
+        from .checkpoint import (
+            CheckpointError,
+            load_checkpoint,
+            read_checkpoint_header,
+        )
+
+        if not path.is_file():
+            return None
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            header = read_checkpoint_header(blob)
+            if header.get("meta", {}).get("run_key") != run_key:
+                raise CheckpointError("checkpoint belongs to another run")
+            system, _header = load_checkpoint(blob)
+            if not isinstance(system, System):
+                raise CheckpointError("checkpoint does not hold a System")
+        except CheckpointError as error:
+            warnings.warn(
+                f"discarding unusable checkpoint {path.name}: {error}; "
+                f"restarting from scratch",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        return system
+
+    @staticmethod
+    def _safepoint_hook(
+        path: Path, run_key: str, fault_key: str, fault_attempt: int = 1
+    ) -> Callable[[System, int], None]:
+        """The per-safepoint callback: checkpoint the system to ``path``.
+
+        A system that cannot be checkpointed (e.g. streaming telemetry
+        holds an open file) disables safepoints for the rest of the run
+        with a warning instead of failing it.
+        """
+        from .checkpoint import CheckpointError, write_checkpoint_file
+
+        disabled = [False]
+
+        def hook(system: System, cycle: int) -> None:
+            if disabled[0]:
+                return
+            try:
+                blob = system.checkpoint(meta={"run_key": run_key})
+            except CheckpointError as error:
+                disabled[0] = True
+                warnings.warn(
+                    f"safepoints disabled for this run: {error}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return
+            write_checkpoint_file(
+                path, blob,
+                fault_key=fault_key,
+                fault_attempt=fault_attempt,
+            )
+
+        return hook
 
     def run_mix(self, mix: Mix, approach: str) -> RunResult:
         """Run a named mix under a named approach."""

@@ -284,10 +284,36 @@ class TestExecutor:
             horizon=30_000,
             target_insts=200_000,
         )
-        result = execute([bad] + specs, jobs=1)
-        assert result.outcomes[0].status == "failed"
-        assert "warp-drive" in result.outcomes[0].error
+        result = execute([bad] + specs, jobs=1, backoff=0.01)
+        # ConfigError is deterministic: retried once to confirm, then
+        # quarantined with a structured failure record.
+        outcome = result.outcomes[0]
+        assert outcome.status == "quarantined"
+        assert "warp-drive" in outcome.error
+        assert outcome.failure is not None
+        assert outcome.failure.resolution == "quarantined"
+        assert outcome.failure.attempts[-1].error_class == "deterministic"
+        assert "ConfigError" in outcome.failure.attempts[-1].traceback
         assert [o.status for o in result.outcomes[1:]] == ["ok", "ok"]
+        assert result.unresolved == []
+
+    def test_budget_exhaustion_reports_failed(self, specs):
+        bad = RunSpec(
+            apps=("lbm", "gcc"),
+            approach="warp-drive",
+            config=specs[0].config,
+            horizon=30_000,
+            target_insts=200_000,
+        )
+        # With quarantine disarmed the bounded retry budget settles it.
+        result = execute(
+            [bad], jobs=1, retries=1, backoff=0.01, quarantine_after=10
+        )
+        outcome = result.outcomes[0]
+        assert outcome.status == "failed"
+        assert outcome.attempts == 2
+        assert outcome.failure is not None
+        assert len(outcome.failure.attempts) == 2
 
     def test_timeout_enforced_serial(self, small_config):
         # Far more work than 50ms allows; SIGALRM must cut it off.
@@ -310,10 +336,10 @@ class TestExecutor:
             horizon=30_000,
             target_insts=200_000,
         )
-        result = execute([bad], jobs=2, retries=1)
+        result = execute([bad], jobs=2, retries=1, backoff=0.01)
         outcome = result.outcomes[0]
-        assert outcome.status == "failed"
-        assert outcome.attempts == 2  # failed twice, then reported
+        assert outcome.status == "quarantined"  # deterministic, confirmed
+        assert outcome.attempts == 2  # failed twice, then quarantined
 
 
 class TestSweepIntegration:
