@@ -128,6 +128,16 @@ def _load_bench():
 def _record(args, fast_summary):
     doc = _load_bench()
     baseline = doc["baseline"]["cycles_per_sec_best"]
+    trajectory = doc.setdefault("trajectory", [])
+    existing = [e for e in trajectory if e.get("date") == args.date]
+    if existing and not args.force:
+        print(
+            f"refusing to record: trajectory already has an entry dated "
+            f"{args.date} ({existing[0]['cycles_per_sec_best']:.0f} cyc/s); "
+            f"pass --force to replace it or --date to stamp differently",
+            file=sys.stderr,
+        )
+        return 2
     entry = {
         "date": args.date,
         "kernel": "fast",
@@ -142,14 +152,21 @@ def _record(args, fast_summary):
         ),
     }
     doc["post"] = entry
-    doc.setdefault("trajectory", []).append(entry)
+    if existing:
+        doc["trajectory"] = [
+            e for e in trajectory if e.get("date") != args.date
+        ] + [entry]
+    else:
+        trajectory.append(entry)
     with open(BENCH_PATH, "w") as handle:
         json.dump(doc, handle, indent=1, sort_keys=True)
         handle.write("\n")
+    replaced = " (replaced same-date entry)" if existing else ""
     print(
         f"recorded post: {entry['cycles_per_sec_best']:.0f} cyc/s "
-        f"({entry['speedup_vs_baseline']}x vs committed baseline)"
+        f"({entry['speedup_vs_baseline']}x vs committed baseline){replaced}"
     )
+    return 0
 
 
 def _check(args, traces):
@@ -192,6 +209,14 @@ def main() -> int:
         help="update the post entry in benchmarks/BENCH_kernel.json",
     )
     parser.add_argument(
+        "--force",
+        action="store_true",
+        help=(
+            "--record: replace an existing trajectory entry with the same "
+            "date instead of refusing"
+        ),
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help="CI gate: fast/reference ratio >= ci.min_ratio",
@@ -227,7 +252,9 @@ def main() -> int:
         if fast is None:
             print("--record needs a fast-kernel measurement", file=sys.stderr)
             return 2
-        _record(args, fast)
+        record_status = _record(args, fast)
+        if record_status:
+            return record_status
     if args.report:
         if fast is None:
             print("--report needs a fast-kernel measurement", file=sys.stderr)

@@ -34,6 +34,7 @@ def run_campaign(
     safepoint_every: Optional[int] = None,
     checkpoint_dir: Optional[object] = None,
     faults: Optional[object] = None,
+    spans: Optional[object] = None,
 ) -> CampaignResult:
     """Execute a campaign spec (or an explicit plan) and return outcomes.
 
@@ -42,8 +43,8 @@ def run_campaign(
     re-run of the same campaign is served from disk and an interrupted one
     resumes where it stopped. The supervision knobs (``backoff``,
     ``quarantine_after``, ``max_pool_respawns``, ``safepoint_every``,
-    ``checkpoint_dir``, ``faults``) pass straight through to
-    :func:`~repro.campaign.executor.execute`.
+    ``checkpoint_dir``, ``faults``) and the ``spans`` trace-output path
+    pass straight through to :func:`~repro.campaign.executor.execute`.
     """
     specs = plan.plan() if isinstance(plan, CampaignSpec) else list(plan)
     if persist and store is None:
@@ -61,6 +62,7 @@ def run_campaign(
         safepoint_every=safepoint_every,
         checkpoint_dir=checkpoint_dir,
         faults=faults,
+        spans=spans,
     )
 
 

@@ -40,6 +40,8 @@ Supervision rules (see :mod:`repro.campaign.failures` for the taxonomy):
 from __future__ import annotations
 
 import ctypes
+import hashlib
+import os
 import signal
 import threading
 import time
@@ -53,6 +55,13 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ReproError
 from ..sim.runner import RunResult
+from ..telemetry.spans import (
+    SpanTracer,
+    install_tracer,
+    merge_trace_files,
+    now_us,
+    write_trace_file,
+)
 from .failures import FailureAttempt, FailureClass, FailureRecord, classify_failure
 from .spec import RunSpec
 from .store import ResultStore
@@ -320,6 +329,17 @@ def _execute_with_timeout(
             pass
 
 
+def _span_part_path(span_dir: str, spec: RunSpec, submission: int) -> str:
+    """Unique per-attempt trace-part filename inside ``span_dir``."""
+    digest = hashlib.sha256(spec.label.encode("utf-8")).hexdigest()[:8]
+    safe = "".join(
+        c if c.isalnum() or c in "-_+." else "_" for c in spec.label
+    )[:40]
+    return os.path.join(
+        span_dir, f"{safe}-{digest}-s{submission}-p{os.getpid()}.json"
+    )
+
+
 def _worker(
     spec: RunSpec,
     store_root: Optional[str],
@@ -328,30 +348,50 @@ def _worker(
     fault_plan: Optional[Dict[str, object]] = None,
     safepoint_every: Optional[int] = None,
     safepoint_dir: Optional[str] = None,
+    span_dir: Optional[str] = None,
 ) -> Tuple[RunResult, float]:
     """Pool entry point: run, persist to the store, return the result."""
     if fault_plan is not None:
         from ..faults import FaultPlan, install_plan
 
         install_plan(FaultPlan.from_doc(fault_plan))
-    result, wall = _execute_with_timeout(
-        spec, timeout, submission, safepoint_every, safepoint_dir
-    )
-    if store_root is not None:
-        from ..faults import maybe_fire
-
-        store = _store_for(store_root)
-        key = spec.key()
-        store.put(key, result, wall, describe=_describe(spec, result))
-        # Chaos harness hook: damage the just-written blob, as a dying disk
-        # or torn write would. The store's digest/decode checks must catch
-        # it on the next read and quarantine rather than serve garbage.
-        maybe_fire(
-            "store.put",
-            key=spec.label,
-            attempt=submission,
-            path=store.path_for(key),
+    tracer = previous_tracer = None
+    if span_dir is not None:
+        # Per-attempt tracer: the Runner's span sites pick it up via
+        # current_tracer(). The previous tracer is restored in the
+        # finally so the serial path hands the supervisor its own
+        # tracer back. A worker that dies mid-attempt (SIGKILL fault)
+        # never writes its part file; the merge skips the hole and the
+        # supervisor's lane still shows the attempt.
+        tracer = SpanTracer(f"campaign-worker pid={os.getpid()}")
+        previous_tracer = install_tracer(tracer)
+    try:
+        result, wall = _execute_with_timeout(
+            spec, timeout, submission, safepoint_every, safepoint_dir
         )
+        if store_root is not None:
+            from ..faults import maybe_fire
+
+            store = _store_for(store_root)
+            key = spec.key()
+            store.put(key, result, wall, describe=_describe(spec, result))
+            # Chaos harness hook: damage the just-written blob, as a dying
+            # disk or torn write would. The store's digest/decode checks
+            # must catch it on the next read and quarantine rather than
+            # serve garbage.
+            maybe_fire(
+                "store.put",
+                key=spec.label,
+                attempt=submission,
+                path=store.path_for(key),
+            )
+    finally:
+        if tracer is not None:
+            install_tracer(previous_tracer)
+            try:
+                tracer.write(_span_part_path(span_dir, spec, submission))
+            except OSError:
+                pass  # tracing must never fail the run itself
     return result, wall
 
 
@@ -405,6 +445,9 @@ class _SpecState:
     infra_losses: int = 0
     det_failures: int = 0
     failures: List[FailureAttempt] = field(default_factory=list)
+    #: Wall-clock µs of the first hand-off (span tracing only): the
+    #: supervisor's "run" span opens here and closes when the spec settles.
+    started_us: int = 0
 
 
 class _Supervisor:
@@ -425,6 +468,8 @@ class _Supervisor:
         safepoint_every: Optional[int],
         checkpoint_dir: Optional[str],
         fault_plan_doc: Optional[Dict[str, object]],
+        tracer: Optional[SpanTracer] = None,
+        span_dir: Optional[str] = None,
     ) -> None:
         self.specs = specs
         self.outcomes = outcomes
@@ -443,6 +488,27 @@ class _Supervisor:
         self.states: Dict[int, _SpecState] = {}
         self.time_lost = 0.0
         self.pool_respawns = 0
+        self.tracer = tracer
+        self.span_dir = span_dir
+
+    # -- span tracing ----------------------------------------------------
+    def _mark_handoff(self, st: _SpecState) -> None:
+        if self.tracer is not None and not st.started_us:
+            st.started_us = now_us()
+
+    def _span_attempt(self, st: _SpecState, name: str, wall: float, **args):
+        """Record one attempt retrospectively on the spec's virtual lane."""
+        if self.tracer is None:
+            return
+        end = now_us()
+        duration = max(int(wall * 1e6), 1)
+        self.tracer.complete(
+            name,
+            end - duration,
+            duration,
+            lane=self.tracer.lane(st.spec.label),
+            **args,
+        )
 
     # -- state -----------------------------------------------------------
     def state(self, index: int) -> _SpecState:
@@ -455,12 +521,26 @@ class _Supervisor:
     # -- settling --------------------------------------------------------
     def _settle(self, index: int, outcome: RunOutcome) -> None:
         self.outcomes[index] = outcome
+        if self.tracer is not None:
+            st = self.states.get(index)
+            if st is not None and st.started_us:
+                self.tracer.complete(
+                    "run",
+                    st.started_us,
+                    now_us() - st.started_us,
+                    lane=self.tracer.lane(outcome.spec.label),
+                    status=outcome.status,
+                    attempts=outcome.attempts,
+                )
         if self.progress:
             self.progress(outcome, len(self.outcomes), self.total)
 
     def settle_ok(self, index: int, result: RunResult, wall: float) -> None:
         st = self.state(index)
         spec = st.spec
+        self._span_attempt(
+            st, "attempt", wall, submission=st.submissions, outcome="ok"
+        )
         record = None
         if st.failures:
             record = self._record(
@@ -596,6 +676,14 @@ class _Supervisor:
             )
         )
         delay = self.handle_failure(index, error, tb, wall)
+        self._span_attempt(
+            self.state(index),
+            "fault-retry",
+            wall,
+            submission=self.state(index).submissions,
+            error=type(error).__name__,
+            requeued=delay is not None,
+        )
         if delay is None:
             return
         if delay <= 0:
@@ -629,6 +717,7 @@ class _Supervisor:
                 st = self.state(index)
                 st.submissions += 1
                 st.attempts += 1
+                self._mark_handoff(st)
                 started = time.monotonic()
                 try:
                     result, wall = _worker(
@@ -639,6 +728,7 @@ class _Supervisor:
                         self.fault_plan_doc,
                         self.safepoint_every,
                         self.checkpoint_dir,
+                        self.span_dir,
                     )
                 except Exception as error:
                     self._after_failure(
@@ -698,6 +788,7 @@ class _Supervisor:
                     st = self.state(index)
                     st.submissions += 1
                     st.attempts += 1
+                    self._mark_handoff(st)
                     try:
                         future = pool.submit(
                             _worker,
@@ -708,6 +799,7 @@ class _Supervisor:
                             self.fault_plan_doc,
                             self.safepoint_every,
                             self.checkpoint_dir,
+                            self.span_dir,
                         )
                     except BrokenProcessPool:
                         st.submissions -= 1
@@ -812,6 +904,7 @@ def execute(
     safepoint_every: Optional[int] = None,
     checkpoint_dir: Optional[object] = None,
     faults: Optional[object] = None,
+    spans: Optional[object] = None,
 ) -> CampaignResult:
     """Execute a plan under supervision; never raises for individual runs.
 
@@ -825,8 +918,26 @@ def execute(
     ``checkpoint_dir`` (default: ``<store>/checkpoints``) and retries
     resume from the last checkpoint. ``faults`` injects a deterministic
     :class:`~repro.faults.FaultPlan` into every worker (chaos testing).
+    ``spans`` names a Chrome-trace JSON file; every worker writes its own
+    span part file next to it and the supervisor merges them — with its
+    own scheduling spans — into one cross-process timeline at the end.
     """
     started = time.perf_counter()
+    started_us = now_us()
+    tracer: Optional[SpanTracer] = None
+    span_dir: Optional[str] = None
+    if spans is not None:
+        span_dir = str(spans) + ".parts"
+        os.makedirs(span_dir, exist_ok=True)
+        # Stale parts from an earlier campaign pointed at the same output
+        # would pollute the merge; a part written this run replaces them.
+        for stale in os.listdir(span_dir):
+            if stale.endswith(".json"):
+                try:
+                    os.remove(os.path.join(span_dir, stale))
+                except OSError:
+                    pass
+        tracer = SpanTracer("campaign-supervisor")
     total = len(specs)
     outcomes: Dict[int, RunOutcome] = {}
     pending: List[int] = []
@@ -838,6 +949,10 @@ def execute(
             outcomes[index] = RunOutcome(
                 spec, "cached", result, wall_clock=original_wall
             )
+            if tracer is not None:
+                tracer.instant(
+                    "run-cached", lane=tracer.lane(spec.label), index=index
+                )
             if progress:
                 progress(outcomes[index], len(outcomes), total)
         else:
@@ -874,12 +989,43 @@ def execute(
         safepoint_every,
         checkpoint_dir_str,
         fault_plan_doc,
+        tracer=tracer,
+        span_dir=span_dir,
     )
     if pending:
         if jobs > 1:
             supervisor.run_pooled(pending, jobs)
         else:
             supervisor.run_serial(pending)
+
+    if tracer is not None and spans is not None:
+        tracer.complete(
+            "campaign",
+            started_us,
+            now_us() - started_us,
+            runs=total,
+            cached=total - len(pending),
+            jobs=jobs,
+        )
+        parts = sorted(
+            os.path.join(span_dir, name)
+            for name in os.listdir(span_dir)
+            if name.endswith(".json")
+        )
+        # Missing/absent parts are expected: a SIGKILLed worker never
+        # flushes its tracer. The supervisor's own spans still record
+        # the failed attempt, so the timeline stays complete.
+        merged = merge_trace_files(parts, extra=[tracer.to_chrome()])
+        write_trace_file(str(spans), merged)
+        for part in parts:
+            try:
+                os.remove(part)
+            except OSError:
+                pass
+        try:
+            os.rmdir(span_dir)
+        except OSError:
+            pass
 
     ordered = [outcomes[i] for i in sorted(outcomes)]
     return CampaignResult(

@@ -14,7 +14,9 @@ Subcommands:
   and derived views (rollups, pair deltas, intensity breakdowns),
   ``results compare`` A/B-diffs two campaigns or store snapshots, and
   ``results gates`` evaluates the C1-C3 acceptance gates (or a custom
-  JSON gates file) with a machine-readable report.
+  JSON gates file) with a machine-readable report, and ``results
+  perf-trend`` ingests ``benchmarks/BENCH_*.json`` trajectories into the
+  index and flags perf regressions (the perf-observatory CI hook).
 * ``store``    — blob-store maintenance: ``store stats`` (entries, bytes,
   quarantine and index state), ``store ls`` (entries or quarantined
   files), ``store gc`` (prune quarantined/tmp/stale files).
@@ -24,6 +26,9 @@ Subcommands:
   JSONL); ``--from-jsonl`` renders a stored stream without re-simulating.
 * ``metrics``  — run one mix and print the simulator-wide metrics registry
   snapshot in Prometheus text (or JSON) form.
+* ``perf``     — run one mix with profiling and print the wall-clock
+  component profile plus the fast-kernel introspection counters (wake-memo
+  short-circuit ratio, best-memo hit rate, scan lengths, cas-floor reuse).
 * ``traces``   — the workload trace library: ``traces import`` parses an
   external ChampSim/DRAMSim-style dump (or ``.rtrc``), characterizes it
   alone, and registers it as a first-class app; ``traces list`` / ``info``
@@ -230,6 +235,15 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="CLAIM",
         help="restrict --gates to these claim ids (e.g. C1)",
     )
+    campaign_parser.add_argument(
+        "--spans",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write a merged Chrome-trace span timeline (supervisor + all "
+            "workers) to PATH; open it in Perfetto or chrome://tracing"
+        ),
+    )
 
     results_parser = sub.add_parser(
         "results",
@@ -329,6 +343,47 @@ def _build_parser() -> argparse.ArgumentParser:
         help="exit non-zero when any run regressed beyond tolerance",
     )
     rcompare.add_argument(
+        "--format",
+        choices=["table", "json"],
+        default="table",
+        help="output format (default: table)",
+    )
+
+    rtrend = results_sub.add_parser(
+        "perf-trend",
+        help=(
+            "ingest benchmarks/BENCH_*.json into the index and flag perf "
+            "regressions"
+        ),
+    )
+    _add_index_source(rtrend)
+    rtrend.add_argument(
+        "--bench-dir",
+        default="benchmarks",
+        metavar="DIR",
+        help="directory holding BENCH_*.json snapshots (default: benchmarks)",
+    )
+    rtrend.add_argument(
+        "--benchmark",
+        default=None,
+        help="show only this benchmark's trajectory",
+    )
+    rtrend.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        metavar="FRACTION",
+        help=(
+            "allowed fractional throughput drop below the best earlier "
+            "trajectory entry (default 0.10)"
+        ),
+    )
+    rtrend.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero when any regression is flagged (the CI hook)",
+    )
+    rtrend.add_argument(
         "--format",
         choices=["table", "json"],
         default="table",
@@ -475,6 +530,40 @@ def _build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="also print wall-clock profile (cycles/sec, per-component)",
+    )
+    trace_parser.add_argument(
+        "--spans",
+        default=None,
+        metavar="PATH",
+        help=(
+            "record hierarchical wall-clock spans (run, phases, policy "
+            "epochs, migration bursts) as Chrome trace events to PATH"
+        ),
+    )
+
+    perf_parser = sub.add_parser(
+        "perf",
+        help=(
+            "run one mix with profiling and print the wall-clock profile "
+            "plus the fast-kernel introspection counters"
+        ),
+    )
+    perf_parser.add_argument(
+        "mix",
+        nargs="?",
+        default="M4",
+        help="mix name (default: M4, the kernel-benchmark workload)",
+    )
+    perf_parser.add_argument(
+        "--approach",
+        default="dbp-tcm",
+        help="approach to profile (default: dbp-tcm)",
+    )
+    perf_parser.add_argument(
+        "--format",
+        choices=["table", "json"],
+        default="table",
+        help="output format (default: table)",
     )
 
     metrics_parser = sub.add_parser(
@@ -669,7 +758,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         quarantine_after=args.quarantine_after,
         safepoint_every=args.safepoint_every,
         faults=faults,
+        spans=args.spans,
     )
+    if args.spans and not args.quiet:
+        print(f"wrote merged span timeline to {args.spans}", file=sys.stderr)
     gates_report = None
     if args.gates:
         from .results import evaluate_gates, index_outcomes
@@ -808,7 +900,21 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         profile=args.profile,
         kernel=getattr(args, "kernel", None),
     )
-    result = runner.run_mix(mix, args.approach)
+    tracer = None
+    previous_tracer = None
+    if args.spans:
+        from .telemetry import SpanTracer, install_tracer
+
+        tracer = SpanTracer("repro-dbp trace")
+        previous_tracer = install_tracer(tracer)
+    try:
+        result = runner.run_mix(mix, args.approach)
+    finally:
+        if tracer is not None:
+            from .telemetry import install_tracer
+
+            install_tracer(previous_tracer)
+            tracer.write(args.spans)
     recorder = runner.last_telemetry
     if recorder is None:  # pragma: no cover - trace never attaches a store
         print("error: no telemetry was recorded", file=sys.stderr)
@@ -844,6 +950,51 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(
             f"\nstreamed {recorder.stream.records_written} epoch records "
             f"to {args.stream}"
+        )
+    if args.spans:
+        print(f"\nwrote span timeline to {args.spans}")
+    return 0
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from .metrics import kernel_counter_summary, render_kernel_summary
+
+    mix = resolve_mix(args.mix)
+    runner = Runner(
+        horizon=args.horizon,
+        seed=args.seed,
+        profile=True,
+        kernel=getattr(args, "kernel", None),
+    )
+    from .memctrl.controller import resolve_kernel
+
+    result = runner.run_mix(mix, args.approach)
+    summary = kernel_counter_summary(result.metrics_snapshot or {})
+    kernel = resolve_kernel(runner.kernel)
+    if args.format == "json":
+        doc = {
+            "mix": mix.name,
+            "approach": args.approach,
+            "horizon": args.horizon,
+            "seed": args.seed,
+            "kernel": kernel,
+            "profile": runner.last_profile,
+            "kernel_counters": summary,
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"{mix.name} under {args.approach}  "
+        f"(horizon {args.horizon}, seed {args.seed}, kernel {kernel})"
+    )
+    if runner.last_profile is not None:
+        _print_profile(runner.last_profile)
+    print()
+    print(render_kernel_summary(summary))
+    if summary["decisions"] == 0:
+        print(
+            "\n(counters are all zero: the reference kernel records "
+            "nothing — rerun with --kernel fast)"
         )
     return 0
 
@@ -1032,7 +1183,58 @@ def _cmd_results(args: argparse.Namespace) -> int:
         return _cmd_results_compare(args)
     if args.results_verb == "gates":
         return _cmd_results_gates(args)
+    if args.results_verb == "perf-trend":
+        return _cmd_results_perf_trend(args)
     raise ReproError(f"unknown results verb {args.results_verb!r}")
+
+
+def _cmd_results_perf_trend(args: argparse.Namespace) -> int:
+    from .results import (
+        ResultIndex,
+        bench_trend,
+        check_bench_docs,
+        index_path_for,
+        load_bench_docs,
+        render_findings,
+        render_trend,
+        sync_bench_dir,
+    )
+
+    docs = load_bench_docs(args.bench_dir)
+    # Unlike the query verbs, perf-trend may be the first thing to touch
+    # the index (CI runs it without ever building a store), so open the
+    # index file directly — ResultIndex creates it and its parents.
+    db_path = args.db if args.db else index_path_for(_store_dir(args))
+    with ResultIndex(db_path) as index:
+        count = sync_bench_dir(index, args.bench_dir)
+        rows = bench_trend(index, benchmark=args.benchmark)
+    findings = check_bench_docs(docs, tolerance=args.tolerance)
+    if args.benchmark is not None:
+        findings = [f for f in findings if f.benchmark == args.benchmark]
+    if args.format == "json":
+        doc = {
+            "synced_samples": count,
+            "trend": rows,
+            "findings": [
+                {
+                    "benchmark": f.benchmark,
+                    "kind": f.kind,
+                    "date": f.date,
+                    "message": f.message,
+                }
+                for f in findings
+            ],
+            "tolerance": args.tolerance,
+        }
+        print(json.dumps(doc, indent=2))
+    else:
+        print(f"synced {count} benchmark sample(s) from {args.bench_dir}")
+        print(render_trend(rows))
+        print()
+        print(render_findings(findings))
+    if args.check and findings:
+        return 1
+    return 0
 
 
 def _cmd_results_index(args: argparse.Namespace) -> int:
@@ -1330,6 +1532,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_trace(args)
         if args.command == "metrics":
             return _cmd_metrics(args)
+        if args.command == "perf":
+            return _cmd_perf(args)
         store = None
         if getattr(args, "store", None) is not None:
             from .campaign import ResultStore, default_store_dir

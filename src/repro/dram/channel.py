@@ -53,6 +53,11 @@ class Channel:
         )
         self.command_log: Optional[List[Command]] = None
         self.stat_commands = 0
+        # Flight-recorder counters, bumped by the controller's fast
+        # kernel: per-decision cas_floor computations vs per-rank cache
+        # reuses. The reference kernel never touches them (stays zero).
+        self.kc_cas_floor_computed = 0
+        self.kc_cas_floor_skipped = 0
 
     # ------------------------------------------------------------------
     # Topology helpers.
@@ -264,3 +269,9 @@ class Channel:
                 channel=channel,
                 rank=str(rank.rank_id),
             )
+        floor = registry.counter(
+            "repro_kernel_cas_floor_total",
+            "Fast-kernel cas_floor evaluations: computed vs per-rank reuse",
+        )
+        floor.inc(self.kc_cas_floor_computed, channel=channel, result="computed")
+        floor.inc(self.kc_cas_floor_skipped, channel=channel, result="skipped")

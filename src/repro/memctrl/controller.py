@@ -213,6 +213,27 @@ class ChannelController:
             if self.kernel == "fast"
             else self._try_issue_reference
         )
+        # Kernel introspection counters (flight recorder). Plain ints so
+        # they pickle with the system and cost one attribute bump where
+        # they fire; exported as repro_kernel_* metrics, which kernelgrid
+        # strips from the differential document (the two kernels
+        # legitimately differ here and nowhere else). `_kc_on` gates the
+        # sites shared with the reference kernel so `reference` stays
+        # all-zero — pinned by tests/test_kernel_counters.py.
+        self._kc_on = self.kernel == "fast"
+        self.kc_decisions = 0
+        self.kc_wake_hits = 0
+        self.kc_wake_misses = 0
+        self.kc_scans = 0
+        self.kc_best_hits = 0
+        self.kc_best_misses = 0
+        self.kc_scanned_requests = 0
+        self.kc_inval_enqueue = 0
+        self.kc_inval_activate = 0
+        self.kc_inval_precharge = 0
+        self.kc_inval_cas = 0
+        self.kc_inval_refresh = 0
+        self.kc_inval_token = 0
         scheduler.attach_controller(self)
         if config.refresh_enabled:
             first_due = min(r.next_refresh_due for r in channel.ranks)
@@ -275,6 +296,50 @@ class ChannelController:
                     stats.per_thread_latency_sum.get(thread_id, 0) / reads,
                     channel=channel,
                 )
+        self._collect_kernel_metrics(registry, channel)
+
+    def _collect_kernel_metrics(self, registry, channel: str) -> None:
+        """Export the fast-kernel introspection counters.
+
+        All repro_kernel_* series legitimately differ between the two
+        decision kernels (reference leaves them at zero), so
+        ``kernelgrid.grid_doc`` strips the prefix from the differential
+        document rather than regenerating the golden fixture.
+        """
+        registry.counter(
+            "repro_kernel_decisions_total",
+            "Fast-kernel decision invocations",
+        ).inc(self.kc_decisions, channel=channel)
+        wake = registry.counter(
+            "repro_kernel_wake_memo_total",
+            "Wake-memo outcomes: hit = issue without any scan",
+        )
+        wake.inc(self.kc_wake_hits, channel=channel, result="hit")
+        wake.inc(self.kc_wake_misses, channel=channel, result="miss")
+        registry.counter(
+            "repro_kernel_scans_total",
+            "Full occupied-bucket scans (wake memo did not short-circuit)",
+        ).inc(self.kc_scans, channel=channel)
+        best = registry.counter(
+            "repro_kernel_best_memo_total",
+            "Per-bank best-request memo outcomes during scans",
+        )
+        best.inc(self.kc_best_hits, channel=channel, result="hit")
+        best.inc(self.kc_best_misses, channel=channel, result="miss")
+        registry.counter(
+            "repro_kernel_scanned_requests_total",
+            "Requests visited while recomputing dirty bank buckets",
+        ).inc(self.kc_scanned_requests, channel=channel)
+        inval = registry.counter(
+            "repro_kernel_invalidations_total",
+            "Best-memo invalidation events by cause",
+        )
+        inval.inc(self.kc_inval_enqueue, channel=channel, cause="enqueue")
+        inval.inc(self.kc_inval_activate, channel=channel, cause="activate")
+        inval.inc(self.kc_inval_precharge, channel=channel, cause="precharge")
+        inval.inc(self.kc_inval_cas, channel=channel, cause="cas")
+        inval.inc(self.kc_inval_refresh, channel=channel, cause="refresh")
+        inval.inc(self.kc_inval_token, channel=channel, cause="token")
 
     # ------------------------------------------------------------------
     # External surface.
@@ -292,6 +357,8 @@ class ChannelController:
             )
         gb = request.rank * self._banks_per_rank + request.bank
         self._gen += 1
+        if self._kc_on:
+            self.kc_inval_enqueue += 1
         if request.is_write:
             self._write_by_bank[gb].append(request)
             self._write_count += 1
@@ -336,10 +403,10 @@ class ChannelController:
         # wake-ups are only requested when the due cycle is ahead), and
         # the differential grid pins the resulting event order.
         engine = self.engine
-        heappush(
-            engine._agenda,
-            (cycle, next(engine._sequence), self._decision_cb),
-        )
+        agenda = engine._agenda
+        heappush(agenda, (cycle, next(engine._sequence), self._decision_cb))
+        if len(agenda) > engine.stat_agenda_peak:
+            engine.stat_agenda_peak = len(agenda)
 
     # ------------------------------------------------------------------
     # The decision: issue at most one command at `now`.
@@ -473,6 +540,7 @@ class ChannelController:
     # ------------------------------------------------------------------
     def _try_issue_fast(self, now: int) -> Tuple[bool, int]:
         """Bit-identical fast path of :meth:`_try_issue_reference`."""
+        self.kc_decisions += 1
         memo = self._wake_memo
         if memo is not None:
             self._wake_memo = None
@@ -490,6 +558,7 @@ class ChannelController:
                     or self.scheduler.ordering_token(now) == memo[3]
                 )
             ):
+                self.kc_wake_hits += 1
                 entry = memo[4]
                 is_write = memo[2]
                 kind_map = (
@@ -499,6 +568,7 @@ class ChannelController:
                     entry[1], kind_map[entry[2]], now, is_write
                 )
                 return True, _FAR_FUTURE
+            self.kc_wake_misses += 1
         next_event = _FAR_FUTURE
         channel = self.channel
         ranks = channel.ranks
@@ -543,8 +613,10 @@ class ChannelController:
             if refresh_token:
                 # Only occupied buckets matter: empty ones are re-dirtied
                 # by the enqueue that repopulates them.
+                self.kc_inval_token += 1
                 for gb in occupied:
                     dirty[gb] = True
+        self.kc_scans += 1
         banks_flat = self._banks_flat
         rank_of = self._rank_of_gb
         cas_floors: List[Optional[int]] = [None] * len(ranks)
@@ -553,11 +625,19 @@ class ChannelController:
         best_choice = None
         wake_best = None
         check_blocked = bool(blocked_ranks)
+        # Scan-local counter accumulators, flushed once after the loop.
+        kc_best_hits = 0
+        kc_best_misses = 0
+        kc_scanned = 0
+        kc_floor_computed = 0
+        kc_floor_skipped = 0
         for gb in occupied:
             rank_id = rank_of[gb]
             if check_blocked and rank_id in blocked_ranks:
                 continue
             if dirty[gb]:
+                kc_best_misses += 1
+                kc_scanned += len(buckets[gb])
                 bank = banks_flat[gb]
                 open_row = bank.open_row
                 best_key = None
@@ -611,6 +691,7 @@ class ChannelController:
                 best_cache[gb] = entry
                 dirty[gb] = False
             else:
+                kc_best_hits += 1
                 entry = best_cache[gb]
                 kind = entry[2]
                 bready = entry[3]
@@ -619,8 +700,11 @@ class ChannelController:
             if kind == 0:
                 ready = cas_floors[rank_id]
                 if ready is None:
+                    kc_floor_computed += 1
                     ready = channel.cas_floor(rank_id, is_write)
                     cas_floors[rank_id] = ready
+                else:
+                    kc_floor_skipped += 1
                 if bready > ready:
                     ready = bready
             elif kind == 1:
@@ -643,6 +727,11 @@ class ChannelController:
                 and entry[0] < wake_best[0]
             ):
                 wake_best = entry
+        self.kc_best_hits += kc_best_hits
+        self.kc_best_misses += kc_best_misses
+        self.kc_scanned_requests += kc_scanned
+        channel.kc_cas_floor_computed += kc_floor_computed
+        channel.kc_cas_floor_skipped += kc_floor_skipped
         if not is_write and refresh_token:
             # Re-read after the scan: key() may have mutated lazy scheduler
             # state (e.g. PAR-BS batch formation), and the cached bests
@@ -716,6 +805,8 @@ class ChannelController:
                     self._gen += 1
                     self._dirty_read[gb] = True
                     self._dirty_write[gb] = True
+                    if self._kc_on:
+                        self.kc_inval_precharge += 1
                     return True, _FAR_FUTURE
                 if t < ready:
                     ready = t
@@ -759,16 +850,22 @@ class ChannelController:
             # directions.
             self._dirty_read[gb] = True
             self._dirty_write[gb] = True
+            if self._kc_on:
+                self.kc_inval_activate += 1
             return
         if kind is CommandType.PRECHARGE:
             self._dirty_read[gb] = True
             self._dirty_write[gb] = True
+            if self._kc_on:
+                self.kc_inval_precharge += 1
             return
         # CAS: the request is served. The CAS also moves the bank's
         # precharge horizon (tRTP / tWR), so cached entries go stale in
         # *both* directions, not just the bucket the request left.
         self._dirty_read[gb] = True
         self._dirty_write[gb] = True
+        if self._kc_on:
+            self.kc_inval_cas += 1
         if is_write:
             bucket = self._write_by_bank[gb]
             bucket.remove(request)
@@ -815,6 +912,8 @@ class ChannelController:
                     self._gen += 1
                     self._dirty_read[gb] = True
                     self._dirty_write[gb] = True
+                    if self._kc_on:
+                        self.kc_inval_precharge += 1
                     return True, _FAR_FUTURE
                 ready = min(ready, t)
             return False, ready
@@ -842,5 +941,7 @@ class ChannelController:
             self._min_refresh_due = min(
                 r.next_refresh_due for r in self.channel.ranks
             )
+            if self._kc_on:
+                self.kc_inval_refresh += 1
             return True, _FAR_FUTURE
         return False, ready

@@ -9,6 +9,7 @@ from .metrics import (
     MetricSummary,
     weighted_speedup,
 )
+from .kernelstats import kernel_counter_summary, render_kernel_summary
 from .registry import (
     Counter,
     Gauge,
@@ -18,6 +19,8 @@ from .registry import (
 )
 
 __all__ = [
+    "kernel_counter_summary",
+    "render_kernel_summary",
     "weighted_speedup",
     "harmonic_speedup",
     "max_slowdown",

@@ -217,6 +217,22 @@ def _format_value(value: float) -> str:
     return str(value)
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format.
+
+    Backslash first — escaping it last would corrupt the escapes the
+    other two replacements just produced.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """HELP lines escape backslash and newline (but not quotes)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_labels(labels: Dict[str, str], extra: Optional[Tuple] = None) -> str:
     pairs = [(k, str(v)) for k, v in sorted(labels.items())]
     if extra is not None:
@@ -224,7 +240,7 @@ def _format_labels(labels: Dict[str, str], extra: Optional[Tuple] = None) -> str
     if not pairs:
         return ""
     body = ",".join(
-        f'{k}="{v}"'.replace("\n", "\\n") for k, v in pairs
+        f'{k}="{_escape_label_value(v)}"' for k, v in pairs
     )
     return "{" + body + "}"
 
@@ -240,7 +256,7 @@ def prometheus_text(snapshot: Dict[str, object]) -> str:
         kind = doc.get("kind", "untyped")
         help_text = doc.get("help", "")
         if help_text:
-            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
         lines.append(f"# TYPE {name} {kind}")
         for sample in doc.get("samples", []):
             labels = sample.get("labels", {})

@@ -78,6 +78,11 @@ class Engine:
         self._now = 0
         self._running = False
         self.stat_events = 0
+        #: High-water mark of the agenda: the deepest the event heap ever
+        #: got. Updated at both push sites (here and the controller's
+        #: direct heappush); identical between decision kernels because
+        #: the event stream is identical by contract.
+        self.stat_agenda_peak = 0
 
     @property
     def now(self) -> int:
@@ -95,6 +100,8 @@ class Engine:
                 f"event scheduled at {cycle}, before current time {self._now}"
             )
         heapq.heappush(self._agenda, (cycle, next(self._sequence), callback))
+        if len(self._agenda) > self.stat_agenda_peak:
+            self.stat_agenda_peak = len(self._agenda)
 
     def run(self, until: Optional[int] = None) -> int:
         """Drain the agenda; returns the final simulated cycle.

@@ -24,6 +24,7 @@ from ..cpu.trace import Trace
 from ..errors import ExperimentError
 from ..metrics import MetricSummary, slowdowns, summarize
 from ..telemetry import TelemetryConfig, TelemetryRecorder
+from ..telemetry.spans import current_tracer, now_us
 from ..traces.source import DefaultTraceSource, TraceSource
 from ..workloads import Mix
 from .system import System, SystemResult
@@ -193,6 +194,8 @@ class Runner:
         key = self._source_key(app)
         ipc = self._alone_cache.get(key)
         if ipc is None:
+            tracer = current_tracer()
+            started = now_us() if tracer is not None else 0
             config = replace(self.config, num_cores=1)
             config = config.with_scheduler("frfcfs")
             system = System(
@@ -204,6 +207,10 @@ class Runner:
                 kernel=self.kernel,
             )
             result = system.run()
+            if tracer is not None:
+                tracer.complete(
+                    "alone-run", started, now_us() - started, app=app
+                )
             ipc = result.threads[0].ipc
             if ipc <= 0:
                 raise ExperimentError(f"alone run of {app!r} retired nothing")
@@ -280,6 +287,7 @@ class Runner:
         cached = self._run_cache.get(cache_key)
         if cached is not None:
             return cached
+        tracer = current_tracer()
         store_key = None
         if self.store is not None:
             store_key = self._store_key(apps, approach)
@@ -292,7 +300,14 @@ class Runner:
                 # last_profile — belongs to an earlier run, not this one.
                 self.last_telemetry = None
                 self.last_profile = None
+                if tracer is not None:
+                    tracer.instant(
+                        "run-cached",
+                        mix=mix_name or "+".join(apps),
+                        approach=approach,
+                    )
                 return result
+        run_started = now_us() if tracer is not None else 0
         started = time.perf_counter()
         spec = get_approach(approach)
         config = self._configure(spec, len(apps))
@@ -311,6 +326,7 @@ class Runner:
             hook = self._safepoint_hook(
                 ckpt_path, store_key, label, self.fault_attempt
             )
+        sim_started = now_us() if tracer is not None else 0
         system = (
             self._restore_safepoint(ckpt_path, store_key)
             if ckpt_path is not None
@@ -334,6 +350,15 @@ class Runner:
                 kernel=self.kernel,
             )
             result = system.run(safepoint_every=every, on_safepoint=hook)
+        if tracer is not None:
+            tracer.complete(
+                "measure",
+                sim_started,
+                now_us() - sim_started,
+                mix=mix_name or "+".join(apps),
+                approach=approach,
+                horizon=self.horizon,
+            )
         if ckpt_path is not None:
             try:
                 ckpt_path.unlink()
@@ -350,7 +375,15 @@ class Runner:
                     f"thread {thread_id} ({apps[thread_id]}) retired nothing "
                     f"under {approach}"
                 )
+        alone_started = now_us() if tracer is not None else 0
         alone = {t: self.alone_ipc(app) for t, app in enumerate(apps)}
+        if tracer is not None:
+            tracer.complete(
+                "alone-baselines",
+                alone_started,
+                now_us() - alone_started,
+                apps=list(apps),
+            )
         metrics = WorkloadRunMetrics(
             mix=mix_name or "+".join(apps),
             approach=approach,
@@ -387,6 +420,14 @@ class Runner:
                 run_result,
                 time.perf_counter() - started,
                 describe=describe,
+            )
+        if tracer is not None:
+            tracer.complete(
+                "run",
+                run_started,
+                now_us() - run_started,
+                mix=metrics.mix,
+                approach=approach,
             )
         return run_result
 
@@ -452,6 +493,8 @@ class Runner:
         def hook(system: System, cycle: int) -> None:
             if disabled[0]:
                 return
+            tracer = current_tracer()
+            started = now_us() if tracer is not None else 0
             try:
                 blob = system.checkpoint(meta={"run_key": run_key})
             except CheckpointError as error:
@@ -467,6 +510,14 @@ class Runner:
                 fault_key=fault_key,
                 fault_attempt=fault_attempt,
             )
+            if tracer is not None:
+                tracer.complete(
+                    "checkpoint-write",
+                    started,
+                    now_us() - started,
+                    cycle=cycle,
+                    bytes=len(blob),
+                )
 
         return hook
 

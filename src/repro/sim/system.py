@@ -31,6 +31,7 @@ from ..memctrl.controller import ChannelController, resolve_kernel
 from ..memctrl.request import Request
 from ..memctrl.schedulers import make_scheduler
 from ..osmm import ColorAwareAllocator, MigrationEngine, MigrationPlan, PageTable
+from ..telemetry.spans import current_tracer, now_us
 from .checkpoint import (
     CheckpointError,
     dump_checkpoint,
@@ -274,6 +275,12 @@ class System:
         return min(dues) if dues else None
 
     def _on_epoch(self, now: int) -> None:
+        # Span tracing is process-global, never stored on the system (a
+        # tracer full of wall-clock events must not ride along in
+        # checkpoints); boundaries are rare, so the lookup is off the
+        # hot path entirely.
+        tracer = current_tracer()
+        started = now_us() if tracer is not None else 0
         snapshot = self.profiler.snapshot(now)
         fired_quantum = self._next_quantum == now
         fired_policy = self._next_policy == now
@@ -289,6 +296,9 @@ class System:
             self._next_policy = now + self.policy.epoch_cycles
         if self.telemetry is not None:
             self.telemetry.on_epoch(now, snapshot, fired_quantum, fired_policy)
+        if tracer is not None:
+            name = "policy-epoch" if fired_policy else "quantum"
+            tracer.complete(name, started, now_us() - started, cycle=now)
         next_due = self._next_boundary()
         if next_due is not None and next_due < self.horizon:
             self.engine.schedule(next_due, self._on_epoch)
@@ -401,6 +411,8 @@ class System:
     # Migration traffic.
     # ------------------------------------------------------------------
     def _inject_copy_traffic(self, plan: MigrationPlan) -> None:
+        tracer = current_tracer()
+        started = now_us() if tracer is not None else 0
         now = self.engine.now
         for index, (src, dst) in enumerate(plan.copy_lines):
             at = now + index * _MIGRATION_SPACING
@@ -420,6 +432,16 @@ class System:
                 cache.invalidate(
                     self.address_map.line_in_frame(old_frame, offset)
                 )
+        if tracer is not None:
+            tracer.complete(
+                "migration-burst",
+                started,
+                now_us() - started,
+                cycle=now,
+                thread=plan.thread_id,
+                copy_lines=len(plan.copy_lines),
+                moves=len(plan.moves),
+            )
 
     # ------------------------------------------------------------------
     # Run.
@@ -624,6 +646,10 @@ class System:
         registry.counter(
             "repro_sim_engine_events_total", "Discrete events executed"
         ).inc(self.engine.stat_events)
+        registry.gauge(
+            "repro_kernel_agenda_peak",
+            "High-water mark of the engine's event agenda",
+        ).set(self.engine.stat_agenda_peak)
         retired = registry.counter(
             "repro_cpu_retired_insts_total", "Instructions retired per core"
         )

@@ -8,6 +8,16 @@ streaming sink (rotating JSONL with schema headers) and its loader.
 
 from .recorder import ControllerProbe, TelemetryConfig, TelemetryRecorder
 from .report import render_decisions, render_timeline
+from .spans import (
+    SpanTracer,
+    current_tracer,
+    install_tracer,
+    load_trace_file,
+    merge_trace_files,
+    merge_traces,
+    uninstall_tracer,
+    write_trace_file,
+)
 from .stream import (
     STREAM_SCHEMA,
     STREAM_SCHEMA_VERSION,
@@ -20,11 +30,19 @@ __all__ = [
     "ControllerProbe",
     "STREAM_SCHEMA",
     "STREAM_SCHEMA_VERSION",
+    "SpanTracer",
     "StoredTelemetry",
     "TelemetryConfig",
     "TelemetryRecorder",
     "TelemetryStreamWriter",
+    "current_tracer",
+    "install_tracer",
     "load_stream",
+    "load_trace_file",
+    "merge_trace_files",
+    "merge_traces",
     "render_decisions",
     "render_timeline",
+    "uninstall_tracer",
+    "write_trace_file",
 ]

@@ -1,0 +1,179 @@
+"""Fast-kernel introspection counters over the kernel-golden grid.
+
+The flight-recorder counters (``repro_kernel_*``) are the one sanctioned
+divergence between the two decision kernels: the fast kernel populates
+them, the reference kernel leaves every one at zero, and
+``kernelgrid.grid_doc`` strips the prefix so the differential document —
+and therefore the committed golden fixture — never sees them. This
+module pins all three properties across the full 17-spec grid, plus the
+checkpoint round-trip (counters are plain ints that ride along in
+pickled systems) and the summary math in
+:mod:`repro.metrics.kernelstats`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernelgrid import GRID, build_grid_system, grid_doc
+from repro.metrics.kernelstats import (
+    kernel_counter_summary,
+    render_kernel_summary,
+)
+
+#: Counter families every populated run must export.
+_KERNEL_METRICS = (
+    "repro_kernel_decisions_total",
+    "repro_kernel_wake_memo_total",
+    "repro_kernel_scans_total",
+    "repro_kernel_best_memo_total",
+    "repro_kernel_scanned_requests_total",
+    "repro_kernel_invalidations_total",
+    "repro_kernel_cas_floor_total",
+)
+
+
+def _kernel_samples(snapshot):
+    out = {}
+    for metric in snapshot["metrics"]:
+        if metric["name"].startswith("repro_kernel_"):
+            out[metric["name"]] = metric["samples"]
+    return out
+
+
+def _run(spec, kernel):
+    system = build_grid_system(spec, kernel=kernel)
+    result = system.run()
+    return system, result
+
+
+@pytest.mark.parametrize("spec", GRID, ids=[spec[0] for spec in GRID])
+def test_fast_populates_reference_stays_zero_results_identical(spec):
+    fast_system, fast_result = _run(spec, "fast")
+    ref_system, ref_result = _run(spec, "reference")
+
+    fast_counters = _kernel_samples(
+        fast_system.metrics_registry().snapshot()
+    )
+    for name in _KERNEL_METRICS:
+        assert name in fast_counters, f"fast run exports {name}"
+    decisions = sum(
+        s["value"] for s in fast_counters["repro_kernel_decisions_total"]
+    )
+    assert decisions > 0, "the fast kernel made decisions"
+
+    ref_counters = _kernel_samples(ref_system.metrics_registry().snapshot())
+    for name, samples in ref_counters.items():
+        if name == "repro_kernel_agenda_peak":
+            # The agenda high-water mark is an engine property; the event
+            # stream is identical by contract, so both kernels report it.
+            continue
+        assert all(s["value"] == 0 for s in samples), (
+            f"reference kernel must leave {name} at zero"
+        )
+
+    assert grid_doc(fast_system, fast_result) == grid_doc(
+        ref_system, ref_result
+    ), f"{spec[0]}: kernels disagree on simulation-visible results"
+
+
+def test_grid_doc_strips_kernel_counters():
+    system, result = _run(GRID[0], "fast")
+    doc = grid_doc(system, result)
+    names = {m["name"] for m in doc["metrics"]["metrics"]}
+    assert not any(n.startswith("repro_kernel_") for n in names)
+    # The live snapshot still carries them — only the differential
+    # document is sanitized.
+    live = {
+        m["name"] for m in system.metrics_registry().snapshot()["metrics"]
+    }
+    assert any(n.startswith("repro_kernel_") for n in live)
+
+
+def test_agenda_peak_identical_between_kernels():
+    fast_system, _ = _run(GRID[0], "fast")
+    ref_system, _ = _run(GRID[0], "reference")
+    assert fast_system.engine.stat_agenda_peak > 0
+    assert (
+        fast_system.engine.stat_agenda_peak
+        == ref_system.engine.stat_agenda_peak
+    )
+
+
+def test_counters_survive_checkpoint_round_trip():
+    from repro.sim.system import System
+
+    spec = GRID[10]  # dbp-tcm/open — exercises migration + token paths
+
+    class _Interrupted(Exception):
+        pass
+
+    captured = {}
+
+    def _snap_and_die(system, _cycle):
+        captured["blob"] = system.checkpoint()
+        raise _Interrupted
+
+    first = build_grid_system(spec, kernel="fast")
+    with pytest.raises(_Interrupted):
+        first.run(safepoint_every=20_000, on_safepoint=_snap_and_die)
+    restored = System.restore(captured["blob"])
+    result = restored.resume()
+
+    straight = build_grid_system(spec, kernel="fast")
+    straight_result = straight.run()
+
+    assert grid_doc(restored, result) == grid_doc(
+        straight, straight_result
+    )
+    restored_counters = _kernel_samples(
+        restored.metrics_registry().snapshot()
+    )
+    straight_counters = _kernel_samples(
+        straight.metrics_registry().snapshot()
+    )
+    assert restored_counters == straight_counters
+
+
+class TestKernelSummary:
+    def test_summary_derives_ratios(self):
+        system, result = _run(GRID[10], "fast")
+        snapshot = system.metrics_registry().snapshot()
+        summary = kernel_counter_summary(snapshot)
+        assert summary["decisions"] > 0
+        wake = summary["wake_memo"]
+        assert wake["hits"] + wake["misses"] <= summary["decisions"]
+        if wake["hits"]:
+            assert 0 < wake["short_circuit_ratio"] <= 1
+        best = summary["best_memo"]
+        assert best["hits"] + best["misses"] > 0
+        assert 0 <= best["hit_rate"] <= 1
+        assert summary["scanned_requests"] >= best["misses"]
+        causes = summary["invalidations"]
+        assert set(causes) >= {
+            "enqueue", "activate", "precharge", "cas", "refresh", "token",
+        }
+        assert causes["enqueue"] > 0
+        assert summary["agenda_peak"] > 0
+        report = render_kernel_summary(summary)
+        assert "wake-memo short-circuits" in report
+        assert "invalidations by cause" in report
+
+    def test_summary_of_reference_run_is_all_zero_with_none_ratios(self):
+        system, result = _run(GRID[0], "reference")
+        summary = kernel_counter_summary(
+            system.metrics_registry().snapshot()
+        )
+        assert summary["decisions"] == 0
+        assert summary["wake_memo"]["short_circuit_ratio"] is None
+        assert summary["best_memo"]["hit_rate"] is None
+        assert summary["mean_scan_length"] is None
+        assert summary["cas_floor"]["skip_rate"] is None
+        # Renders without dividing by zero.
+        assert "n/a" in render_kernel_summary(summary)
+
+    def test_summary_of_empty_snapshot(self):
+        summary = kernel_counter_summary({"metrics": []})
+        assert summary["decisions"] == 0
+        assert summary["agenda_peak"] == 0
+        render_kernel_summary(summary)

@@ -112,6 +112,67 @@ class TestPrometheusText:
         with pytest.raises(ConfigError):
             prometheus_text({"nope": 1})
 
+    def test_label_values_escape_special_characters(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_paths_total", "by path")
+        counter.inc(1, path='C:\\traces\\"m4".trc')
+        counter.inc(2, path="line1\nline2")
+        text = prometheus_text(registry.snapshot())
+        assert (
+            'repro_paths_total{path="C:\\\\traces\\\\\\"m4\\".trc"} 1'
+            in text
+        )
+        assert 'repro_paths_total{path="line1\\nline2"} 2' in text
+        # No raw newline may survive inside a sample line.
+        for line in text.splitlines():
+            assert line.count('"') % 2 == 0 or "\\" in line
+
+    def test_escaped_labels_round_trip_through_parser(self):
+        """Unescaping the rendered text recovers the original values."""
+        originals = [
+            'back\\slash', 'quo"te', 'new\nline', '\\n literal', 'plain',
+        ]
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_rt_total")
+        for i, value in enumerate(originals):
+            counter.inc(i + 1, label=value)
+        text = prometheus_text(registry.snapshot())
+
+        def unescape(s: str) -> str:
+            out, i = [], 0
+            while i < len(s):
+                if s[i] == "\\" and i + 1 < len(s):
+                    nxt = s[i + 1]
+                    if nxt == "\\":
+                        out.append("\\")
+                    elif nxt == '"':
+                        out.append('"')
+                    elif nxt == "n":
+                        out.append("\n")
+                    else:
+                        out.append(s[i:i + 2])
+                    i += 2
+                else:
+                    out.append(s[i])
+                    i += 1
+            return "".join(out)
+
+        recovered = {}
+        for line in text.splitlines():
+            if line.startswith("repro_rt_total{"):
+                body, value = line.rsplit(" ", 1)
+                raw = body[len('repro_rt_total{label="'):-len('"}')]
+                recovered[unescape(raw)] = int(value)
+        assert recovered == {
+            value: i + 1 for i, value in enumerate(originals)
+        }
+
+    def test_help_text_escapes_newlines_and_backslashes(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_h_total", "first\nsecond \\ slash").inc(1)
+        text = prometheus_text(registry.snapshot())
+        assert "# HELP repro_h_total first\\nsecond \\\\ slash" in text
+
 
 class TestSimulatorWiring:
     def test_system_registry_covers_all_components(self, small_config):

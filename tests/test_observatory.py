@@ -1,0 +1,238 @@
+"""Perf-regression observatory: BENCH snapshot ingestion and flagging."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+# Imported via the package namespace: pytest collects bare ``bench_*``
+# module-level names as benchmark functions (see python_functions in
+# pyproject.toml), so ``from repro.results import bench_trend`` would be
+# picked up as a test.
+from repro import results
+from repro.results import ResultIndex, ResultsError
+
+
+def _kernel_doc(trajectory, min_ratio=1.25):
+    return {
+        "benchmark": "kernel-hot-loop",
+        "metric": "simulated cycles per wall second (best of reps)",
+        "baseline": {
+            "date": "2026-01-01",
+            "kernel": "reference",
+            "cycles_per_sec_best": 100_000.0,
+            "cycles_per_sec_median": 98_000.0,
+            "engine_events": 1000,
+        },
+        "post": trajectory[-1],
+        "trajectory": trajectory,
+        "ci": {"min_ratio": min_ratio, "reps": 3},
+        "workload": {"mix": "M4", "approach": "dbp-tcm"},
+    }
+
+
+def _entry(date, best, ratio=None, median=None):
+    entry = {
+        "date": date,
+        "kernel": "fast",
+        "cycles_per_sec_best": best,
+        "cycles_per_sec_median": median if median is not None else best,
+        "engine_events": 1000,
+    }
+    if ratio is not None:
+        entry["speedup_vs_baseline"] = ratio
+    return entry
+
+
+def _write_bench(tmp_path, doc, name="BENCH_kernel.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps(doc))
+    return path
+
+
+class TestExtraction:
+    def test_extracts_baseline_post_and_trajectory(self):
+        doc = _kernel_doc([_entry("2026-02-01", 180_000.0, 1.8)])
+        samples = results.bench_samples_from_doc(doc, source="BENCH_kernel.json")
+        roles = sorted(s.role for s in samples)
+        assert roles == ["baseline", "post", "trajectory"]
+        trajectory = [s for s in samples if s.role == "trajectory"][0]
+        assert trajectory.benchmark == "kernel-hot-loop"
+        assert trajectory.cycles_per_sec_best == 180_000.0
+        assert trajectory.speedup_vs_baseline == 1.8
+        assert trajectory.source == "BENCH_kernel.json"
+
+    def test_doc_without_benchmark_yields_nothing(self):
+        assert results.bench_samples_from_doc({"entries": 1000}) == []
+
+    def test_doc_without_dated_series_yields_nothing(self):
+        # The results-index micro-benchmark has no trajectory: valid
+        # file, zero samples.
+        doc = {"benchmark": "results_index", "cold_sync": {"seconds": 0.2}}
+        assert results.bench_samples_from_doc(doc) == []
+
+    def test_missing_dir_is_an_error(self, tmp_path):
+        with pytest.raises(ResultsError):
+            results.load_bench_docs(str(tmp_path / "nope"))
+
+
+class TestSync:
+    def test_sync_is_idempotent_and_trend_orders_by_date(self, tmp_path):
+        doc = _kernel_doc(
+            [
+                _entry("2026-02-01", 180_000.0, 1.8),
+                _entry("2026-03-01", 190_000.0, 1.9),
+            ]
+        )
+        _write_bench(tmp_path, doc)
+        with ResultIndex(":memory:") as index:
+            assert results.sync_bench_dir(index, str(tmp_path)) == 4
+            assert results.sync_bench_dir(index, str(tmp_path)) == 4  # idempotent
+            rows = results.bench_trend(index)
+            # post is excluded from the trend (it duplicates the latest
+            # trajectory entry); baseline + 2 trajectory rows remain.
+            assert [r["role"] for r in rows] == [
+                "baseline", "trajectory", "trajectory",
+            ]
+            assert [r["date"] for r in rows] == [
+                "2026-01-01", "2026-02-01", "2026-03-01",
+            ]
+            text = results.render_trend(rows)
+            assert "kernel-hot-loop" in text
+            assert "190,000" in text
+
+    def test_runs_schema_untouched(self, tmp_path):
+        from repro.results.db import SCHEMA_VERSION
+
+        _write_bench(
+            tmp_path, _kernel_doc([_entry("2026-02-01", 180_000.0)])
+        )
+        with ResultIndex(":memory:") as index:
+            results.sync_bench_dir(index, str(tmp_path))
+            meta = {
+                r["name"]: r["value"]
+                for r in index._conn.execute("SELECT * FROM meta")
+            }
+            assert meta["schema_version"] == str(SCHEMA_VERSION)
+            assert "bench_schema_version" in meta
+            assert index.count() == 0  # no fake rows in the runs table
+
+    def test_render_trend_empty(self):
+        assert "no benchmark samples" in results.render_trend([])
+
+
+class TestRegressionFlagging:
+    def test_healthy_trajectory_passes(self, tmp_path):
+        doc = _kernel_doc(
+            [
+                _entry("2026-02-01", 180_000.0, 1.8),
+                _entry("2026-03-01", 176_000.0, 1.76),  # within 10%
+            ]
+        )
+        path = _write_bench(tmp_path, doc)
+        findings = results.check_bench_docs({str(path): doc}, tolerance=0.10)
+        assert findings == []
+        assert "no regressions" in results.render_findings(findings)
+
+    def test_ratio_below_ci_gate_is_flagged(self, tmp_path):
+        doc = _kernel_doc(
+            [_entry("2026-02-01", 180_000.0, 1.10)], min_ratio=1.25
+        )
+        findings = results.check_bench_docs({"p": doc})
+        assert [f.kind for f in findings] == ["ratio"]
+        assert "1.100" in findings[0].message
+        assert findings[0].date == "2026-02-01"
+
+    def test_throughput_drop_beyond_tolerance_is_flagged(self):
+        doc = _kernel_doc(
+            [
+                _entry("2026-02-01", 200_000.0, 2.0),
+                _entry("2026-03-01", 170_000.0, 1.7),  # -15%
+            ]
+        )
+        findings = results.check_bench_docs({"p": doc}, tolerance=0.10)
+        assert [f.kind for f in findings] == ["trajectory"]
+        assert "15.0%" in findings[0].message
+        # A looser tolerance accepts the same drop.
+        assert results.check_bench_docs({"p": doc}, tolerance=0.20) == []
+
+    def test_recovery_after_dip_compares_against_best(self):
+        doc = _kernel_doc(
+            [
+                _entry("2026-02-01", 200_000.0, 2.0),
+                _entry("2026-03-01", 205_000.0, 2.05),
+                _entry("2026-04-01", 160_000.0, 1.6),  # below BOTH
+            ]
+        )
+        findings = results.check_bench_docs({"p": doc}, tolerance=0.10)
+        assert len(findings) == 1
+        assert "2026-03-01" in findings[0].message  # vs the best, not first
+
+    def test_committed_snapshot_is_clean(self):
+        # The repo's own benchmarks/ must never trip its own observatory.
+        docs = results.load_bench_docs("benchmarks")
+        assert docs, "repo has committed BENCH snapshots"
+        assert results.check_bench_docs(docs) == []
+
+
+class TestCli:
+    def test_perf_trend_cli_syncs_and_checks(self, tmp_path, capsys):
+        from repro.cli import main
+
+        doc = _kernel_doc([_entry("2026-02-01", 180_000.0, 1.8)])
+        _write_bench(tmp_path, doc)
+        db = str(tmp_path / "index.sqlite")
+        assert (
+            main(
+                [
+                    "results", "perf-trend",
+                    "--bench-dir", str(tmp_path),
+                    "--db", db,
+                    "--check",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "synced 3 benchmark sample(s)" in out
+        assert "no regressions" in out
+
+    def test_perf_trend_cli_fails_on_regression(self, tmp_path, capsys):
+        from repro.cli import main
+
+        doc = _kernel_doc(
+            [_entry("2026-02-01", 180_000.0, 1.0)], min_ratio=1.25
+        )
+        _write_bench(tmp_path, doc)
+        db = str(tmp_path / "index.sqlite")
+        argv = [
+            "results", "perf-trend",
+            "--bench-dir", str(tmp_path),
+            "--db", db,
+        ]
+        assert main(argv) == 0  # report-only without --check
+        assert main(argv + ["--check"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_perf_trend_cli_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        doc = _kernel_doc([_entry("2026-02-01", 180_000.0, 1.8)])
+        _write_bench(tmp_path, doc)
+        db = str(tmp_path / "index.sqlite")
+        assert (
+            main(
+                [
+                    "results", "perf-trend",
+                    "--bench-dir", str(tmp_path),
+                    "--db", db,
+                    "--format", "json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["synced_samples"] == 3
+        assert payload["findings"] == []
+        assert len(payload["trend"]) == 2
