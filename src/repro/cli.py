@@ -2,7 +2,8 @@
 
 Subcommands:
 
-* ``list``     — experiments, approaches, applications, mixes.
+* ``list``     — experiments, approaches, applications, mixes;
+  ``--tunables`` adds each approach's declared parameter space.
 * ``run``      — run one experiment by id and print its table; ``--jobs``
   fans its sweeps out over worker processes.
 * ``campaign`` — run a (mix x approach x seed) grid in parallel, backed by
@@ -20,6 +21,14 @@ Subcommands:
 * ``store``    — blob-store maintenance: ``store stats`` (entries, bytes,
   quarantine and index state), ``store ls`` (entries or quarantined
   files), ``store gc`` (prune quarantined/tmp/stale files).
+* ``tune``     — auto-tuning over the declared parameter spaces:
+  ``tune run`` drives a seeded search strategy (random | halving | tpe)
+  with the campaign grid as the objective (every simulation lands in the
+  content-addressed store, so repeated points are cache hits and
+  re-running a study is nearly free), ``tune report`` lists recorded
+  studies and their trials, ``tune frontier`` renders the WS-vs-MS
+  Pareto frontier of tuned points against the paper default with an
+  explicit dominance verdict.
 * ``mix``      — run a single mix under one or more approaches.
 * ``trace``    — run one mix with per-epoch telemetry and print the epoch
   timeline and the policy's decisions table (optionally export or stream
@@ -86,7 +95,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list experiments, approaches, apps, mixes")
+    list_parser = sub.add_parser(
+        "list", help="list experiments, approaches, apps, mixes"
+    )
+    list_parser.add_argument(
+        "--tunables",
+        action="store_true",
+        help="also print each approach's declared tunable-parameter space",
+    )
     sub.add_parser("config", help="print the system configuration")
 
     run_parser = sub.add_parser("run", help="run one experiment by id")
@@ -474,6 +490,132 @@ def _build_parser() -> argparse.ArgumentParser:
         help="report what would be deleted without deleting",
     )
 
+    tune_parser = sub.add_parser(
+        "tune",
+        help="auto-tune policy parameters: run | report | frontier",
+    )
+    tune_sub = tune_parser.add_subparsers(dest="tune_verb", required=True)
+
+    trun = tune_sub.add_parser(
+        "run",
+        help=(
+            "run one seeded tuning study (full horizon = the global "
+            "--horizon, seed = the global --seed)"
+        ),
+    )
+    trun.add_argument(
+        "--approach",
+        default="dbp",
+        help="base approach to tune (default: dbp)",
+    )
+    trun.add_argument(
+        "--strategy",
+        choices=["random", "halving", "tpe"],
+        default="halving",
+        help="search strategy (default: halving)",
+    )
+    trun.add_argument(
+        "--budget",
+        type=int,
+        default=12,
+        help="searched trials, excluding the free baseline (default 12)",
+    )
+    trun.add_argument(
+        "--objective",
+        choices=["balanced", "ws", "hs", "ms"],
+        default="balanced",
+        help="scalar objective over the mix set (default: balanced = WS/MS)",
+    )
+    trun.add_argument(
+        "--mixes",
+        nargs="*",
+        default=None,
+        help="mix names to score over (default: M4 M7)",
+    )
+    trun.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (default 1)"
+    )
+    trun.add_argument(
+        "--study",
+        default=None,
+        help="study name (default: APPROACH-STRATEGY-OBJECTIVE-sSEED)",
+    )
+    trun.add_argument(
+        "--screen-fidelity",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="halving: screening-rung horizon fraction (default 0.25)",
+    )
+    trun.add_argument(
+        "--survivors",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="halving: fraction of the cohort promoted (default 0.25)",
+    )
+    trun.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="extra attempts for a failed run (default 1)",
+    )
+    trun.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-run timeout in seconds (default: none)",
+    )
+    _add_index_source(trun)
+    trun.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-trial progress lines on stderr",
+    )
+    trun.add_argument(
+        "--format",
+        choices=["table", "json"],
+        default="table",
+        help="output format (default: table)",
+    )
+
+    treport = tune_sub.add_parser(
+        "report", help="list recorded studies (or one study's trials)"
+    )
+    _add_index_source(treport)
+    treport.add_argument(
+        "--study", default=None, help="show this study's trials in full"
+    )
+    treport.add_argument(
+        "--format",
+        choices=["table", "json"],
+        default="table",
+        help="output format (default: table)",
+    )
+
+    tfrontier = tune_sub.add_parser(
+        "frontier",
+        help="WS-vs-MS Pareto frontier of a study vs the paper default",
+    )
+    _add_index_source(tfrontier)
+    tfrontier.add_argument(
+        "--study",
+        default=None,
+        help="study name (default: the only recorded study)",
+    )
+    tfrontier.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also write the machine-readable JSON frontier to PATH",
+    )
+    tfrontier.add_argument(
+        "--format",
+        choices=["table", "json"],
+        default="table",
+        help="output format (default: table)",
+    )
+
     trace_parser = sub.add_parser(
         "trace",
         help="run one mix with telemetry; print epoch timeline + decisions",
@@ -671,7 +813,7 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_list() -> int:
+def _cmd_list(args: Optional[argparse.Namespace] = None) -> int:
     print("experiments:")
     for exp_id in sorted(EXPERIMENTS):
         doc = (EXPERIMENTS[exp_id].__doc__ or "").strip().splitlines()[0]
@@ -679,6 +821,22 @@ def _cmd_list() -> int:
     print("\napproaches:")
     for name in sorted(APPROACHES):
         print(f"  {name:<14} {APPROACHES[name].description}")
+    if args is not None and getattr(args, "tunables", False):
+        from .tuner.space import approach_space
+
+        print("\ntunables (append @name=value,... to the approach name):")
+        for name in sorted(APPROACHES):
+            space = approach_space(name)
+            if not len(space):
+                print(f"  {name}: (no tunables)")
+                continue
+            print(f"  {name}:")
+            for tunable in space.tunables:
+                print(
+                    f"    {tunable.name:<28} {tunable.kind:<6} "
+                    f"{tunable.bounds_text():<24} "
+                    f"default={tunable.default!r:<10} [{tunable.target}]"
+                )
     print("\napplications:")
     for name in sorted(APP_PROFILES):
         profile = APP_PROFILES[name]
@@ -1387,6 +1545,172 @@ def _cmd_results_gates(args: argparse.Namespace) -> int:
     return 0 if report.ok(strict=args.strict) else 1
 
 
+def _cmd_tune(args: argparse.Namespace) -> int:
+    if args.tune_verb == "run":
+        return _cmd_tune_run(args)
+    if args.tune_verb == "report":
+        return _cmd_tune_report(args)
+    if args.tune_verb == "frontier":
+        return _cmd_tune_frontier(args)
+    raise ReproError(f"unknown tune verb {args.tune_verb!r}")
+
+
+def _cmd_tune_run(args: argparse.Namespace) -> int:
+    from .campaign import ResultStore
+    from .errors import ConfigError
+    from .results import ResultIndex, index_path_for
+    from .tuner import frontier_doc, render_frontier, run_study, trial_rows
+
+    searcher_opts = {}
+    if args.strategy == "halving":
+        if args.survivors is not None:
+            searcher_opts["survivor_fraction"] = args.survivors
+        if args.screen_fidelity is not None:
+            searcher_opts["screen_fidelity"] = args.screen_fidelity
+    elif args.survivors is not None or args.screen_fidelity is not None:
+        raise ConfigError(
+            "--survivors/--screen-fidelity only apply to --strategy halving"
+        )
+    root = _store_dir(args)
+    store = ResultStore(root)
+    db_path = args.db if args.db else index_path_for(root)
+
+    def _progress(trial) -> None:
+        if args.quiet:
+            return
+        point = trial.point
+        score = (
+            f"score={trial.score:.4f}"
+            if trial.score is not None
+            else f"FAILED ({trial.error})"
+        )
+        label = "baseline" if trial.is_default else trial.approach
+        print(
+            f"  trial {point.trial_id:>3} rung {point.rung} "
+            f"fid {point.fidelity:.2f} h={trial.horizon} "
+            f"{label}: {score} "
+            f"[{trial.cached}c/{trial.executed}x {trial.wall_clock:.1f}s]",
+            file=sys.stderr,
+        )
+
+    with ResultIndex(db_path) as index:
+        result = run_study(
+            approach=args.approach,
+            strategy=args.strategy,
+            budget=args.budget,
+            objective=args.objective,
+            seed=args.seed,
+            mixes=tuple(args.mixes) if args.mixes else ("M4", "M7"),
+            horizon=args.horizon,
+            store=store,
+            index=index,
+            jobs=args.jobs,
+            study=args.study,
+            progress=_progress,
+            searcher_opts=searcher_opts or None,
+            retries=args.retries,
+            timeout=args.timeout,
+        )
+        rows = trial_rows(index, result.study)
+    if args.format == "json":
+        doc = {
+            "study": result.study,
+            "strategy": result.strategy,
+            "objective": result.objective,
+            "base_approach": result.base_approach,
+            "mixes": result.mixes,
+            "seed": result.seed,
+            "trials": rows,
+            "total_runs": result.total_runs,
+            "cache_hits": result.cache_hits,
+            "cache_hit_rate": result.cache_hit_rate,
+            "wall_clock": result.wall_clock,
+            "frontier": frontier_doc(rows),
+        }
+        print(json.dumps(doc, indent=2))
+        return 0
+    from .tuner import render_trials
+
+    best = result.best
+    print(
+        f"study {result.study}: {len(result.trials)} trial(s) over "
+        f"{'+'.join(result.mixes)} in {result.wall_clock:.1f}s"
+    )
+    print(
+        f"{result.cache_hits}/{result.total_runs} cached "
+        f"({100.0 * result.cache_hit_rate:.0f}% hit rate)"
+    )
+    if best is not None:
+        print(f"best: {best.approach} ({result.objective}={best.score:.4f})")
+    print()
+    print(render_trials(rows))
+    print()
+    print(render_frontier(rows))
+    return 0
+
+
+def _tune_study_rows(args: argparse.Namespace, index) -> tuple:
+    """(study, rows) for report/frontier, defaulting to the sole study."""
+    from .errors import ConfigError
+    from .tuner import studies, trial_rows
+
+    study = args.study
+    if study is None:
+        recorded = [row["study"] for row in studies(index)]
+        if not recorded:
+            raise ConfigError(
+                "no tuning studies recorded — run `repro-dbp tune run` first"
+            )
+        if len(recorded) > 1:
+            raise ConfigError(
+                "several studies recorded; pick one with --study: "
+                + ", ".join(str(s) for s in recorded)
+            )
+        study = recorded[0]
+    rows = trial_rows(index, study)
+    if not rows:
+        raise ConfigError(f"no trials recorded for study {study!r}")
+    return study, rows
+
+
+def _cmd_tune_report(args: argparse.Namespace) -> int:
+    from .tuner import render_studies, render_trials, studies, trial_rows
+
+    with _open_query_index(args) as index:
+        if args.study is not None:
+            rows = trial_rows(index, args.study)
+            if args.format == "json":
+                print(json.dumps(rows, indent=2))
+            else:
+                print(render_trials(rows))
+            return 0
+        summary = studies(index)
+        if args.format == "json":
+            print(json.dumps(summary, indent=2))
+        else:
+            print(render_studies(summary))
+    return 0
+
+
+def _cmd_tune_frontier(args: argparse.Namespace) -> int:
+    from .tuner import frontier_doc, render_frontier
+
+    with _open_query_index(args) as index:
+        study, rows = _tune_study_rows(args, index)
+    doc = frontier_doc(rows)
+    doc["study"] = study
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(doc, handle, indent=2)
+            handle.write("\n")
+    if args.format == "json":
+        print(json.dumps(doc, indent=2))
+    else:
+        print(f"study {study}")
+        print(render_frontier(rows))
+    return 0
+
+
 def _cmd_store(args: argparse.Namespace) -> int:
     from .campaign import ResultStore
 
@@ -1521,7 +1845,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         if args.command == "list":
-            return _cmd_list()
+            return _cmd_list(args)
+        if args.command == "tune":
+            return _cmd_tune(args)
         if args.command == "campaign":
             return _cmd_campaign(args)
         if args.command == "results":

@@ -83,6 +83,68 @@ class DynamicBankPartitioning(PartitionPolicy):
         self.stat_repartitions = 0
         self.stat_pages_migrated = 0
 
+    # -- tunables protocol ---------------------------------------------
+    @classmethod
+    def tunables(cls):
+        """The DBP knobs a search may move (paper defaults, sane bounds)."""
+        from ..tuner.space import Tunable
+
+        return (
+            Tunable(
+                "epoch_cycles", "int", 25_000, low=5_000, high=200_000,
+                log=True, description="repartitioning period (CPU cycles)",
+            ),
+            Tunable(
+                "demand_smoothing", "float", 0.5, low=0.0, high=0.95,
+                description="EWMA weight of the previous epoch's demand",
+            ),
+            Tunable(
+                "hysteresis_colors", "int", 1, low=0, high=4,
+                description="minimum per-thread color delta worth migrating",
+            ),
+            Tunable(
+                "hysteresis_fraction", "float", 0.125, low=0.0, high=0.5,
+                description="hysteresis band as a fraction of total colors",
+            ),
+            Tunable(
+                "min_pool_colors", "int", 1, low=1, high=4,
+                description="colors reserved for the non-intensive pool",
+            ),
+            Tunable(
+                "demand.low_mpki_threshold", "float", 1.0, low=0.1,
+                high=10.0, log=True,
+                description="MPKI below which a thread is non-intensive",
+            ),
+            Tunable(
+                "demand.blp_scale", "float", 1.5, low=0.5, high=4.0,
+                description="banks demanded per unit of measured BLP",
+            ),
+            Tunable(
+                "demand.high_rbh_threshold", "float", 0.85, low=0.5,
+                high=1.0,
+                description="row-buffer hit rate that deducts bank demand",
+            ),
+        )
+
+    @classmethod
+    def from_tunables(cls, values: Dict[str, object]) -> Dict[str, object]:
+        """Constructor params from a flat tunable point.
+
+        ``demand.*`` names land on the nested :class:`DemandConfig`;
+        everything else on :class:`DBPConfig`. Unnamed knobs keep their
+        paper defaults, and both dataclasses re-validate on construction.
+        """
+        demand_kwargs: Dict[str, object] = {}
+        config_kwargs: Dict[str, object] = {}
+        for name, value in values.items():
+            if name.startswith("demand."):
+                demand_kwargs[name.split(".", 1)[1]] = value
+            else:
+                config_kwargs[name] = value
+        if demand_kwargs:
+            config_kwargs["demand"] = DemandConfig(**demand_kwargs)
+        return {"config": DBPConfig(**config_kwargs)}
+
     # ------------------------------------------------------------------
     def initialize(self, context: PartitionContext) -> None:
         assignment = EqualBankPartitioning.compute_assignment(

@@ -111,11 +111,27 @@ APPROACHES: Dict[str, Approach] = {
 
 
 def get_approach(name: str) -> Approach:
-    """Look up an approach by name."""
+    """Look up an approach by name.
+
+    Besides the registered names, **parameterized** names of the form
+    ``base@key=value,key2=value2`` resolve to a derived approach whose
+    policy/scheduler params are overridden through the tunables registry
+    (:mod:`repro.tuner.space`) — e.g. ``dbp@epoch_cycles=20000``. The
+    derivation is a pure function of the string, so campaign workers,
+    store keys, and the results index all agree on what a tuned point
+    means without any side-channel registration.
+    """
+    base_name, sep, param_text = name.partition("@")
     try:
-        return APPROACHES[name]
+        base = APPROACHES[base_name]
     except KeyError:
         known = ", ".join(sorted(APPROACHES))
         raise ConfigError(
-            f"unknown approach {name!r}; known: {known}"
+            f"unknown approach {base_name!r}; known: {known} "
+            "(append @key=value,... to tune a registered approach)"
         ) from None
+    if not sep:
+        return base
+    from ..tuner.space import derive_approach
+
+    return derive_approach(base, param_text)

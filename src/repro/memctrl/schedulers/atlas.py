@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
+from ...errors import ConfigError
 from ..request import Request
 from .base import ProfileSnapshot, Scheduler
 
@@ -29,6 +30,12 @@ class ATLASScheduler(Scheduler):
         service_per_request: int = 16,
     ) -> None:
         super().__init__(num_threads)
+        if quantum_cycles < 1:
+            raise ConfigError("quantum_cycles must be >= 1")
+        if not 0.0 <= alpha < 1.0:
+            raise ConfigError("alpha must be in [0, 1)")
+        if service_per_request < 1:
+            raise ConfigError("service_per_request must be >= 1")
         self.quantum_cycles = quantum_cycles
         self.alpha = alpha
         self.service_per_request = service_per_request

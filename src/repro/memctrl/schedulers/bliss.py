@@ -43,6 +43,25 @@ class BLISSScheduler(Scheduler):
         self._last_clear_slot = 0
         self.stat_blacklistings = 0
 
+    # -- tunables protocol ---------------------------------------------
+    @classmethod
+    def tunables(cls):
+        """BLISS's two knobs (Subramanian et al. defaults as centers)."""
+        from ...tuner.space import Tunable
+
+        return (
+            Tunable(
+                "blacklist_threshold", "int", 4, low=1, high=16,
+                target="scheduler",
+                description="consecutive same-thread serves before blacklisting",
+            ),
+            Tunable(
+                "clearing_interval", "int", 10_000, low=1_000, high=100_000,
+                log=True, target="scheduler",
+                description="blacklist clearing period (cycles)",
+            ),
+        )
+
     # ------------------------------------------------------------------
     def key(self, request: Request, row_hit: bool, now: int) -> Tuple:
         self._maybe_clear(now)

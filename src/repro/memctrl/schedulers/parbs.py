@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, Set, Tuple
 
+from ...errors import ConfigError
 from ..request import Request
 from .base import Scheduler
 
@@ -23,6 +24,8 @@ class PARBSScheduler(Scheduler):
 
     def __init__(self, num_threads: int, marking_cap: int = 5) -> None:
         super().__init__(num_threads)
+        if marking_cap < 1:
+            raise ConfigError("marking_cap must be >= 1")
         self.marking_cap = marking_cap
         self._marked: Set[int] = set()  # request ids in the current batch
         self._thread_rank: Dict[int, int] = {}

@@ -40,8 +40,12 @@ class TCMScheduler(Scheduler):
         shuffle_mode: str = "insertion",
     ) -> None:
         super().__init__(num_threads)
+        if quantum_cycles < 1:
+            raise ConfigError("quantum_cycles must be >= 1")
         if not 0.0 <= cluster_fraction <= 1.0:
             raise ConfigError("cluster_fraction must be in [0, 1]")
+        if shuffle_interval < 0:
+            raise ConfigError("shuffle_interval must be >= 0")
         if shuffle_mode not in ("insertion", "rotate"):
             raise ConfigError("shuffle_mode must be 'insertion' or 'rotate'")
         self.quantum_cycles = quantum_cycles
@@ -54,6 +58,35 @@ class TCMScheduler(Scheduler):
         self._shuffle_schedule: List[int] = []
         self._last_shuffle_slot = -1
         self.stat_quanta = 0
+
+    # -- tunables protocol ---------------------------------------------
+    @classmethod
+    def tunables(cls):
+        """TCM's cluster/shuffle knobs (Kim et al. defaults as centers)."""
+        from ...tuner.space import Tunable
+
+        return (
+            Tunable(
+                "quantum_cycles", "int", 25_000, low=5_000, high=200_000,
+                log=True, target="scheduler",
+                description="clustering quantum (CPU cycles)",
+            ),
+            Tunable(
+                "cluster_fraction", "float", 0.10, low=0.0, high=0.5,
+                target="scheduler",
+                description="bandwidth share reserved for the latency cluster",
+            ),
+            Tunable(
+                "shuffle_interval", "int", 800, low=100, high=10_000,
+                log=True, target="scheduler",
+                description="bandwidth-cluster priority shuffle period",
+            ),
+            Tunable(
+                "shuffle_mode", "choice", "insertion",
+                choices=("insertion", "rotate"), target="scheduler",
+                description="niceness-weighted vs equal-share shuffle",
+            ),
+        )
 
     # ------------------------------------------------------------------
     def key(self, request: Request, row_hit: bool, now: int) -> Tuple:

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import FrozenSet, List, Optional
 
+from ..errors import ConfigError
 from ..mapping import AddressMap
 from .allocator import ColorAwareAllocator
 from .page_table import PageTable
@@ -61,7 +62,11 @@ class MigrationEngine:
         mode: str = "remap",
     ) -> None:
         if mode not in ("budget", "remap"):
-            raise ValueError(f"unknown migration mode {mode!r}")
+            raise ConfigError(f"unknown migration mode {mode!r}")
+        if budget_pages < 0:
+            raise ConfigError("budget_pages must be >= 0")
+        if lines_per_page < 0:
+            raise ConfigError("lines_per_page must be >= 0")
         self.allocator = allocator
         self.address_map = address_map
         self.budget_pages = budget_pages
@@ -70,6 +75,32 @@ class MigrationEngine:
         self.stat_pages_moved = 0
         self.stat_lines_copied = 0
         self.stat_migrations = 0
+
+    # -- tunables protocol ---------------------------------------------
+    @classmethod
+    def tunables(cls):
+        """Migration knobs, named as the :class:`~repro.config.OSConfig`
+        fields they override (the engine is built from the SystemConfig,
+        so the tuner applies these to the run config, not the approach)."""
+        from ..tuner.space import Tunable
+
+        return (
+            Tunable(
+                "migration_budget_pages", "int", 16, low=0, high=128,
+                target="osmm",
+                description="pages whose copy traffic is charged per epoch",
+            ),
+            Tunable(
+                "migration_lines_per_page", "int", 8, low=0, high=64,
+                target="osmm",
+                description="modelled DRAM line copies per moved page",
+            ),
+            Tunable(
+                "migration_mode", "choice", "remap",
+                choices=("remap", "budget"), target="osmm",
+                description="remap all pages vs strictly budgeted moves",
+            ),
+        )
 
     def migrate(
         self,

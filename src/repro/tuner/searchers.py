@@ -1,0 +1,365 @@
+"""Search strategies over a :class:`~repro.tuner.space.ParameterSpace`.
+
+All searchers share one ask/tell interface — :meth:`Searcher.propose`
+hands out the next :class:`TrialPoint` (or ``None`` when the budget is
+spent) and :meth:`Searcher.observe` feeds back the scalar score (higher
+is better; ``None`` marks a failed trial). Every strategy is driven by a
+private ``random.Random(seed)``, so a given (space, budget, seed) always
+replays the identical trial sequence — which is what makes a re-run of a
+tuning study hit the content-addressed store instead of the simulator.
+
+Strategies:
+
+* :class:`RandomSearcher` — uniform (log-uniform where declared)
+  sampling; the baseline strategy and the startup phase of the others.
+* :class:`HalvingSearcher` — successive halving with two rungs: a
+  screening cohort at a short fidelity (fraction of the full horizon),
+  then exactly ``ceil(cohort * survivor_fraction)`` survivors promoted
+  to full fidelity.
+* :class:`TPESearcher` — a dependency-free tree-structured Parzen
+  estimator: after a random startup, observed points split into
+  good/bad quantiles and candidates are drawn from a Parzen (Gaussian
+  kernel) model of the good set, ranked by the good/bad density ratio.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ConfigError
+from .space import ParameterSpace, Tunable
+
+__all__ = [
+    "STRATEGIES",
+    "TrialPoint",
+    "Searcher",
+    "RandomSearcher",
+    "HalvingSearcher",
+    "TPESearcher",
+    "make_searcher",
+]
+
+
+@dataclass(frozen=True)
+class TrialPoint:
+    """One parameter point a searcher wants evaluated."""
+
+    trial_id: int
+    params: Tuple[Tuple[str, object], ...]
+    #: Fraction of the full evaluation horizon (successive halving screens
+    #: at < 1.0; everything else evaluates at 1.0).
+    fidelity: float = 1.0
+    #: Halving rung index (0 = screening); 0 for single-rung strategies.
+    rung: int = 0
+    #: Screening trial this point was promoted from, if any.
+    parent: Optional[int] = None
+
+    def params_dict(self) -> Dict[str, object]:
+        return dict(self.params)
+
+
+def _as_items(params: Dict[str, object]) -> Tuple[Tuple[str, object], ...]:
+    return tuple(sorted(params.items()))
+
+
+def _round_sig(value: float, digits: int = 4) -> float:
+    """Round to significant digits — keeps parameterized approach names
+    short without meaningfully coarsening the search."""
+    if value == 0.0:
+        return 0.0
+    scale = digits - 1 - math.floor(math.log10(abs(value)))
+    return round(value, scale)
+
+
+def _sample_tunable(tunable: Tunable, rng: random.Random) -> object:
+    """One in-bounds value, honoring the declared scale."""
+    if tunable.kind == "choice":
+        return tunable.choices[rng.randrange(len(tunable.choices))]
+    low = float(tunable.low)  # type: ignore[arg-type]
+    high = float(tunable.high)  # type: ignore[arg-type]
+    if tunable.log:
+        value = math.exp(rng.uniform(math.log(low), math.log(high)))
+    else:
+        value = rng.uniform(low, high)
+    if tunable.kind == "int":
+        return max(int(tunable.low), min(int(tunable.high), int(round(value))))
+    return min(high, max(low, _round_sig(value)))
+
+
+class Searcher:
+    """Common ask/tell interface; subclasses implement ``_next``."""
+
+    name = "base"
+
+    def __init__(self, space: ParameterSpace, budget: int, seed: int = 1) -> None:
+        if budget < 1:
+            raise ConfigError("search budget must be >= 1")
+        if not len(space):
+            raise ConfigError(
+                f"approach {space.approach!r} declares no tunables"
+            )
+        self.space = space
+        self.budget = budget
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._proposed = 0
+        self._observed: List[Tuple[TrialPoint, Optional[float]]] = []
+
+    # -- interface ------------------------------------------------------
+    def propose(self) -> Optional[TrialPoint]:
+        """The next point to evaluate, or ``None`` when done."""
+        if self._proposed >= self.budget:
+            return None
+        point = self._next()
+        if point is not None:
+            self._proposed += 1
+        return point
+
+    def observe(self, point: TrialPoint, score: Optional[float]) -> None:
+        """Feed back one trial's scalar score (higher is better)."""
+        self._observed.append((point, score))
+
+    @property
+    def done(self) -> bool:
+        return self._proposed >= self.budget
+
+    # -- subclass hooks -------------------------------------------------
+    def _next(self) -> Optional[TrialPoint]:
+        raise NotImplementedError
+
+    def _sample(self) -> Dict[str, object]:
+        return {
+            t.name: _sample_tunable(t, self._rng) for t in self.space.tunables
+        }
+
+
+class RandomSearcher(Searcher):
+    """Pure random search at full fidelity — the honest baseline."""
+
+    name = "random"
+
+    def _next(self) -> Optional[TrialPoint]:
+        return TrialPoint(
+            trial_id=self._proposed + 1, params=_as_items(self._sample())
+        )
+
+
+class HalvingSearcher(Searcher):
+    """Two-rung successive halving: screen short, promote the top slice.
+
+    With a total budget ``B`` and survivor fraction ``f``, the screening
+    cohort is the largest ``n`` with ``n + ceil(n * f) <= B``; exactly
+    ``ceil(n * f)`` survivors re-run at full fidelity. Ranking is by
+    score descending with trial id as the deterministic tie-break;
+    failed trials (score ``None``) rank last and are never promoted
+    ahead of a scored trial.
+    """
+
+    name = "halving"
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        budget: int,
+        seed: int = 1,
+        survivor_fraction: float = 0.25,
+        screen_fidelity: float = 0.25,
+    ) -> None:
+        super().__init__(space, budget, seed)
+        if not 0.0 < survivor_fraction <= 1.0:
+            raise ConfigError("survivor_fraction must be in (0, 1]")
+        if not 0.0 < screen_fidelity <= 1.0:
+            raise ConfigError("screen_fidelity must be in (0, 1]")
+        self.survivor_fraction = survivor_fraction
+        self.screen_fidelity = screen_fidelity
+        cohort = budget
+        while cohort > 1 and cohort + self._survivors_of(cohort) > budget:
+            cohort -= 1
+        self.cohort = cohort
+        self.survivors = min(
+            self._survivors_of(cohort), max(0, budget - cohort)
+        )
+        self._promoted: List[TrialPoint] = []
+
+    def _survivors_of(self, cohort: int) -> int:
+        return max(1, math.ceil(cohort * self.survivor_fraction))
+
+    def _next(self) -> Optional[TrialPoint]:
+        if self._proposed < self.cohort:
+            return TrialPoint(
+                trial_id=self._proposed + 1,
+                params=_as_items(self._sample()),
+                fidelity=self.screen_fidelity,
+                rung=0,
+            )
+        if not self._promoted:
+            self._promoted = self._promote()
+        index = self._proposed - self.cohort
+        if index >= len(self._promoted):
+            return None
+        return self._promoted[index]
+
+    def _promote(self) -> List[TrialPoint]:
+        screened = [
+            (point, score)
+            for point, score in self._observed
+            if point.rung == 0
+        ]
+        if len(screened) < self.cohort:
+            raise ConfigError(
+                f"halving cannot promote: {len(screened)} of {self.cohort} "
+                "screening trials observed"
+            )
+        ranked = sorted(
+            screened,
+            key=lambda item: (
+                item[1] is None,
+                -(item[1] if item[1] is not None else 0.0),
+                item[0].trial_id,
+            ),
+        )
+        promoted = []
+        for offset, (point, _score) in enumerate(ranked[: self.survivors]):
+            promoted.append(
+                TrialPoint(
+                    trial_id=self.cohort + offset + 1,
+                    params=point.params,
+                    fidelity=1.0,
+                    rung=1,
+                    parent=point.trial_id,
+                )
+            )
+        return promoted
+
+
+class TPESearcher(Searcher):
+    """Dependency-free TPE: Parzen density ratio over good/bad trials."""
+
+    name = "tpe"
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        budget: int,
+        seed: int = 1,
+        n_startup: Optional[int] = None,
+        gamma: float = 0.25,
+        n_candidates: int = 24,
+    ) -> None:
+        super().__init__(space, budget, seed)
+        if not 0.0 < gamma < 1.0:
+            raise ConfigError("gamma must be in (0, 1)")
+        if n_candidates < 1:
+            raise ConfigError("n_candidates must be >= 1")
+        self.n_startup = (
+            max(3, budget // 3) if n_startup is None else max(1, n_startup)
+        )
+        self.gamma = gamma
+        self.n_candidates = n_candidates
+
+    def _next(self) -> Optional[TrialPoint]:
+        trial_id = self._proposed + 1
+        scored = [
+            (point.params_dict(), score)
+            for point, score in self._observed
+            if score is not None
+        ]
+        if self._proposed < self.n_startup or len(scored) < 2:
+            return TrialPoint(trial_id=trial_id, params=_as_items(self._sample()))
+        scored.sort(key=lambda item: -item[1])
+        n_good = max(1, math.ceil(self.gamma * len(scored)))
+        good = [params for params, _ in scored[:n_good]]
+        bad = [params for params, _ in scored[n_good:]] or good
+        best: Optional[Dict[str, object]] = None
+        best_ratio = -math.inf
+        for _ in range(self.n_candidates):
+            candidate = {
+                t.name: self._draw_from(good, t) for t in self.space.tunables
+            }
+            ratio = sum(
+                self._log_density(candidate[t.name], good, t)
+                - self._log_density(candidate[t.name], bad, t)
+                for t in self.space.tunables
+            )
+            if ratio > best_ratio:
+                best_ratio = ratio
+                best = candidate
+        assert best is not None
+        return TrialPoint(trial_id=trial_id, params=_as_items(best))
+
+    # -- Parzen helpers -------------------------------------------------
+    @staticmethod
+    def _transform(value: float, tunable: Tunable) -> float:
+        return math.log(value) if tunable.log else value
+
+    def _bandwidth(self, tunable: Tunable, count: int) -> float:
+        low = self._transform(float(tunable.low), tunable)  # type: ignore[arg-type]
+        high = self._transform(float(tunable.high), tunable)  # type: ignore[arg-type]
+        return max(1e-9, (high - low) / math.sqrt(count + 1))
+
+    def _draw_from(self, group: List[Dict[str, object]], tunable: Tunable) -> object:
+        """Sample near a random member of ``group`` (kernel perturbation)."""
+        if tunable.kind == "choice":
+            counts = {c: 1.0 for c in tunable.choices}  # Laplace smoothing
+            for params in group:
+                counts[params[tunable.name]] = counts.get(params[tunable.name], 1.0) + 1.0
+            total = sum(counts.values())
+            pick = self._rng.uniform(0.0, total)
+            acc = 0.0
+            for choice in tunable.choices:
+                acc += counts[choice]
+                if pick <= acc:
+                    return choice
+            return tunable.choices[-1]
+        center = float(
+            group[self._rng.randrange(len(group))][tunable.name]  # type: ignore[arg-type]
+        )
+        sigma = self._bandwidth(tunable, len(group))
+        value = self._rng.gauss(self._transform(center, tunable), sigma)
+        if tunable.log:
+            value = math.exp(value)
+        low = float(tunable.low)  # type: ignore[arg-type]
+        high = float(tunable.high)  # type: ignore[arg-type]
+        value = min(high, max(low, value))
+        if tunable.kind == "int":
+            return int(round(value))
+        return value
+
+    def _log_density(
+        self, value: object, group: List[Dict[str, object]], tunable: Tunable
+    ) -> float:
+        if tunable.kind == "choice":
+            counts = {c: 1.0 for c in tunable.choices}
+            for params in group:
+                counts[params[tunable.name]] = counts.get(params[tunable.name], 1.0) + 1.0
+            total = sum(counts.values())
+            return math.log(counts[value] / total)
+        x = self._transform(float(value), tunable)  # type: ignore[arg-type]
+        sigma = self._bandwidth(tunable, len(group))
+        acc = 0.0
+        for params in group:
+            center = self._transform(float(params[tunable.name]), tunable)  # type: ignore[arg-type]
+            acc += math.exp(-0.5 * ((x - center) / sigma) ** 2)
+        return math.log(max(acc / (len(group) * sigma), 1e-300))
+
+
+STRATEGIES: Dict[str, type] = {
+    cls.name: cls for cls in (RandomSearcher, HalvingSearcher, TPESearcher)
+}
+
+
+def make_searcher(
+    strategy: str, space: ParameterSpace, budget: int, seed: int = 1, **opts
+) -> Searcher:
+    """Instantiate a search strategy by name."""
+    try:
+        cls = STRATEGIES[strategy]
+    except KeyError:
+        known = ", ".join(sorted(STRATEGIES))
+        raise ConfigError(
+            f"unknown search strategy {strategy!r}; known: {known}"
+        ) from None
+    return cls(space, budget, seed, **opts)

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.config import DRAMOrganization
+from repro.errors import ConfigError
 from repro.mapping import AddressMap
 from repro.osmm import ColorAwareAllocator, MigrationEngine, PageTable
 
@@ -123,5 +124,12 @@ class TestPlacementRules:
 
     def test_bad_mode_rejected(self):
         table, allocator, amap, _ = make_world()
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             MigrationEngine(allocator, amap, 1, 1, mode="warp")
+
+    def test_negative_budget_rejected(self):
+        table, allocator, amap, _ = make_world()
+        with pytest.raises(ConfigError):
+            MigrationEngine(allocator, amap, -1, 1)
+        with pytest.raises(ConfigError):
+            MigrationEngine(allocator, amap, 1, -1)

@@ -111,6 +111,15 @@ class TestATLAS:
         assert sched.attained_service(0) == 0.0
 
 
+    def test_bad_params_rejected(self):
+        with pytest.raises(ConfigError):
+            ATLASScheduler(num_threads=2, quantum_cycles=0)
+        with pytest.raises(ConfigError):
+            ATLASScheduler(num_threads=2, alpha=1.0)
+        with pytest.raises(ConfigError):
+            ATLASScheduler(num_threads=2, service_per_request=0)
+
+
 class TestPARBS:
     def _attach(self, sched, requests):
         class FakeController:
@@ -332,3 +341,11 @@ class TestTCMClustering:
             TCMScheduler(num_threads=2, cluster_fraction=1.5)
         with pytest.raises(ConfigError):
             TCMScheduler(num_threads=2, shuffle_mode="chaos")
+        with pytest.raises(ConfigError):
+            TCMScheduler(num_threads=2, quantum_cycles=0)
+        with pytest.raises(ConfigError):
+            TCMScheduler(num_threads=2, shuffle_interval=-1)
+
+    def test_parbs_bad_marking_cap_rejected(self):
+        with pytest.raises(ConfigError):
+            PARBSScheduler(num_threads=2, marking_cap=0)
